@@ -1,0 +1,127 @@
+// Google-benchmark suite over the simulator's own primitives: how much
+// *wall-clock* time the machinery costs per simulated event/message. These
+// numbers bound how large an experiment the repository can run.
+#include <benchmark/benchmark.h>
+
+#include "net/fabric.h"
+#include "sim/resource.h"
+#include "sim/sync.h"
+#include "sockets/factory.h"
+
+namespace {
+
+using namespace sv;
+using namespace sv::literals;
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 1000; ++i) {
+      e.schedule(SimTime(i), [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_ProcessHandoff(benchmark::State& state) {
+  // Cost of one process suspend/resume round (two thread context switches).
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation s;
+    s.spawn("p", [&] {
+      for (int i = 0; i < 1000; ++i) s.delay(1_us);
+    });
+    state.ResumeTiming();
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ProcessHandoff);
+
+void BM_ChannelSendRecv(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation s;
+    sim::Channel<int> ch(&s, 16);
+    s.spawn("tx", [&] {
+      for (int i = 0; i < 1000; ++i) ch.send(i);
+      ch.close();
+    });
+    s.spawn("rx", [&] {
+      while (ch.recv()) {
+      }
+    });
+    state.ResumeTiming();
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelSendRecv);
+
+void BM_ResourceUse(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation s;
+    sim::Resource r(&s, 2);
+    for (int p = 0; p < 4; ++p) {
+      s.spawn("p" + std::to_string(p), [&] {
+        for (int i = 0; i < 250; ++i) r.use(1_us);
+      });
+    }
+    state.ResumeTiming();
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ResourceUse);
+
+void BM_FabricMessage(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation s;
+    net::Cluster cluster(&s, 2);
+    net::Pipe pipe(&s, &cluster.node(0), &cluster.node(1),
+                   net::CalibrationProfile::socket_via(), "p");
+    s.spawn("tx", [&] {
+      for (int i = 0; i < 200; ++i) pipe.send(net::Message{.bytes = bytes});
+    });
+    s.spawn("rx", [&] {
+      for (int i = 0; i < 200; ++i) pipe.recv();
+    });
+    state.ResumeTiming();
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_FabricMessage)->Arg(2048)->Arg(65536);
+
+void BM_DetailedTcpMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation s;
+    net::Cluster cluster(&s, 2);
+    sockets::SocketFactory factory(&s, &cluster,
+                                   sockets::Fidelity::kDetailed);
+    state.ResumeTiming();
+    s.spawn("app", [&] {
+      auto [a, b] = factory.connect(0, 1, net::Transport::kKernelTcp);
+      s.spawn("rx", [&s, b = std::move(b)]() mutable {
+        while (b->recv()) {
+        }
+      });
+      for (int i = 0; i < 100; ++i) a->send(net::Message{.bytes = 16384});
+      a->close_send();
+    });
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_DetailedTcpMessage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Heterogeneous-cluster load balancing: Round-Robin vs Demand-Driven.
+//
+// One balancer distributes a 16 MB dataset to three workers, one of which
+// runs 4x slower. The example contrasts the two DataCutter scheduling
+// policies and the two transports' pipelining block sizes (Section 5.2.3).
+//
+//   $ ./load_balancing
+#include <cstdio>
+
+#include "vizapp/loadbalance.h"
+
+using namespace sv;
+
+namespace {
+
+void report(const char* label, const viz::LoadBalanceResult& r) {
+  std::printf("%-28s exec %8.1f ms   blocks/worker [%llu %llu %llu]   "
+              "slow-node service %7.1f us\n",
+              label, r.exec_time.ms(),
+              static_cast<unsigned long long>(r.blocks_per_worker[0]),
+              static_cast<unsigned long long>(r.blocks_per_worker[1]),
+              static_cast<unsigned long long>(r.blocks_per_worker[2]),
+              r.slow_service_times.empty()
+                  ? 0.0
+                  : r.slow_service_times.mean() / 1e3);
+}
+
+}  // namespace
+
+int main() {
+  viz::LoadBalanceConfig base;
+  base.total_bytes = 16 * 1024 * 1024;
+  base.workers = 3;
+  base.slow_worker = 1;
+  base.slow_factor = 4;
+  base.compute = PerByteCost::nanos_per_byte(60);
+
+  std::printf("one worker is 4x slower; 16 MB of blocks to distribute\n\n");
+  for (auto transport :
+       {net::Transport::kSocketVia, net::Transport::kKernelTcp}) {
+    viz::LoadBalanceConfig cfg = base;
+    cfg.transport = transport;
+    // The perfect-pipelining block for each substrate (paper Sec. 5.2.3).
+    cfg.block_bytes =
+        transport == net::Transport::kSocketVia ? 2 * 1024 : 16 * 1024;
+    std::printf("--- %s (block %llu B) ---\n",
+                net::transport_name(transport),
+                static_cast<unsigned long long>(cfg.block_bytes));
+    cfg.policy = dc::SchedPolicy::kRoundRobin;
+    report("Round-Robin", viz::run_load_balance(cfg));
+    cfg.policy = dc::SchedPolicy::kDemandDriven;
+    report("Demand-Driven", viz::run_load_balance(cfg));
+    std::printf("\n");
+  }
+  std::printf(
+      "Round-Robin keeps feeding the slow worker; Demand-Driven routes\n"
+      "work to whoever acknowledges fastest. Smaller SocketVIA blocks both\n"
+      "shrink the balancer's blind window after a mistake and let DD\n"
+      "rebalance at finer granularity.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace sv {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.type = "flag";
+  opt.default_repr = *target ? "true" : "false";
+  opt.flag_target = target;
+  opt.set = [target](const std::string& v) {
+    if (v == "true" || v == "1" || v.empty()) {
+      *target = true;
+    } else if (v == "false" || v == "0") {
+      *target = false;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  options_[name] = std::move(opt);
+  order_.push_back(name);
+}
+
+void CliParser::add_int(const std::string& name, std::int64_t* target,
+                        const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.type = "int";
+  opt.default_repr = std::to_string(*target);
+  opt.set = [target](const std::string& v) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0') return false;
+    *target = parsed;
+    return true;
+  };
+  options_[name] = std::move(opt);
+  order_.push_back(name);
+}
+
+void CliParser::add_double(const std::string& name, double* target,
+                           const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.type = "double";
+  opt.default_repr = std::to_string(*target);
+  opt.set = [target](const std::string& v) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0') return false;
+    *target = parsed;
+    return true;
+  };
+  options_[name] = std::move(opt);
+  order_.push_back(name);
+}
+
+void CliParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.type = "string";
+  opt.default_repr = *target;
+  opt.set = [target](const std::string& v) {
+    *target = v;
+    return true;
+  };
+  options_[name] = std::move(opt);
+  order_.push_back(name);
+}
+
+bool CliParser::apply(const std::string& name, const std::string& value) {
+  auto it = options_.find(name);
+  if (it == options_.end()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", name.c_str());
+    return false;
+  }
+  if (!it->second.set(value)) {
+    std::fprintf(stderr, "error: bad value for --%s: '%s' (expected %s)\n",
+                 name.c_str(), value.c_str(), it->second.type.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  program_name_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      if (!apply(body.substr(0, eq), body.substr(eq + 1))) return false;
+      continue;
+    }
+    // `--no-flag` negation for boolean flags.
+    if (body.rfind("no-", 0) == 0) {
+      auto it = options_.find(body.substr(3));
+      if (it != options_.end() && it->second.type == "flag") {
+        if (!apply(body.substr(3), "false")) return false;
+        continue;
+      }
+    }
+    auto it = options_.find(body);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "error: unknown option --%s\n", body.c_str());
+      return false;
+    }
+    if (it->second.type == "flag") {
+      if (!apply(body, "true")) return false;
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --%s expects a value\n", body.c_str());
+        return false;
+      }
+      if (!apply(body, argv[++i])) return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nusage: " << program_name_ << " [options]\n\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    os << "  --" << name;
+    if (opt.type != "flag") os << "=<" << opt.type << ">";
+    os << "  (default: " << opt.default_repr << ")\n      " << opt.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sv

@@ -1,0 +1,57 @@
+// Tiny command-line option parser for benches and examples.
+//
+// Supports `--name=value`, `--name value`, boolean flags (`--flag`,
+// `--no-flag`), and `--help` text generation. Unknown options are an error so
+// sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sv {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or error.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string usage() const;
+  /// Positional (non-option) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  struct Option {
+    std::string help;
+    std::string type;  // "flag", "int", "double", "string"
+    std::string default_repr;
+    std::function<bool(const std::string&)> set;
+    bool* flag_target = nullptr;
+  };
+
+  bool apply(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sv

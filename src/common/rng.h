@@ -1,0 +1,46 @@
+// Deterministic, seedable pseudo-random number generation for experiments.
+//
+// We implement xoshiro256** (public domain, Blackman & Vigna) rather than
+// relying on std::mt19937 so that streams are cheap to split per simulated
+// node and identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace sv {
+
+/// SplitMix64, used to seed xoshiro state from a single 64-bit seed.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire).
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+  /// Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+  /// Derive an independent child stream (for per-node/per-filter RNGs).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sv

@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace sv {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) -> std::string {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << quote(row[c]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace sv

@@ -1,0 +1,22 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace sv {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const double a = static_cast<double>(ns_ < 0 ? -ns_ : ns_);
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", us());
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ms());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", sec());
+  }
+  return buf;
+}
+
+}  // namespace sv

@@ -1,0 +1,155 @@
+// Strongly-typed simulation units.
+//
+// All simulated time is integer nanoseconds (SimTime) and all per-byte costs
+// are integer picoseconds per byte (PerByteCost), so every experiment in the
+// repository is bit-reproducible: no floating point enters the simulated
+// clock. Floating point appears only at the reporting boundary (Mbps, ms).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace sv {
+
+/// A point in (or duration of) simulated time, in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : ns_(nanos) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+  static constexpr SimTime nanoseconds(std::int64_t v) { return SimTime(v); }
+  static constexpr SimTime microseconds(std::int64_t v) {
+    return SimTime(v * 1000);
+  }
+  static constexpr SimTime milliseconds(std::int64_t v) {
+    return SimTime(v * 1000 * 1000);
+  }
+  static constexpr SimTime seconds(std::int64_t v) {
+    return SimTime(v * 1000 * 1000 * 1000);
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const {
+    return static_cast<double>(ns_) / 1e3;
+  }
+  [[nodiscard]] constexpr double ms() const {
+    return static_cast<double>(ns_) / 1e6;
+  }
+  [[nodiscard]] constexpr double sec() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(ns_ * k); }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime(ns_ / k); }
+  /// Integer ratio of two durations (how many `o` fit in `*this`).
+  constexpr std::int64_t operator/(SimTime o) const { return ns_ / o.ns_; }
+
+  /// Human-readable rendering with an auto-selected unit (ns/us/ms/s).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+/// A cost proportional to message size, in integer picoseconds per byte.
+/// `18 ns/byte` (the Virtual Microscope compute cost) is
+/// `PerByteCost::nanos_per_byte(18)`.
+class PerByteCost {
+ public:
+  constexpr PerByteCost() = default;
+  constexpr explicit PerByteCost(std::int64_t picos_per_byte)
+      : ps_per_byte_(picos_per_byte) {}
+
+  static constexpr PerByteCost zero() { return PerByteCost(0); }
+  static constexpr PerByteCost picos_per_byte(std::int64_t v) {
+    return PerByteCost(v);
+  }
+  static constexpr PerByteCost nanos_per_byte(std::int64_t v) {
+    return PerByteCost(v * 1000);
+  }
+  /// Cost equivalent to transferring at `mbps` megabits per second
+  /// (10^6 bits/s, the convention the paper uses).
+  static constexpr PerByteCost from_mbps(std::int64_t mbps) {
+    // ps/byte = 8e12 / (mbps * 1e6) = 8e6 / mbps
+    return PerByteCost(8'000'000 / mbps);
+  }
+
+  [[nodiscard]] constexpr std::int64_t ps_per_byte() const {
+    return ps_per_byte_;
+  }
+  [[nodiscard]] constexpr double ns_per_byte() const {
+    return static_cast<double>(ps_per_byte_) / 1e3;
+  }
+  /// Implied data rate in Mbps (reporting only).
+  [[nodiscard]] constexpr double mbps() const {
+    return ps_per_byte_ == 0 ? 0.0
+                             : 8e6 / static_cast<double>(ps_per_byte_);
+  }
+
+  /// Time to process `bytes` bytes at this per-byte cost (rounded to ns).
+  [[nodiscard]] constexpr SimTime for_bytes(std::uint64_t bytes) const {
+    const auto total_ps =
+        static_cast<std::int64_t>(bytes) * ps_per_byte_;
+    return SimTime((total_ps + 500) / 1000);
+  }
+
+  constexpr auto operator<=>(const PerByteCost&) const = default;
+  constexpr PerByteCost operator+(PerByteCost o) const {
+    return PerByteCost(ps_per_byte_ + o.ps_per_byte_);
+  }
+
+ private:
+  std::int64_t ps_per_byte_ = 0;
+};
+
+/// Reporting helper: achieved bandwidth in Mbps for `bytes` over `elapsed`.
+[[nodiscard]] constexpr double throughput_mbps(std::uint64_t bytes,
+                                               SimTime elapsed) {
+  if (elapsed.ns() <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 * 1e3 /
+         static_cast<double>(elapsed.ns());
+}
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) {
+  return v * 1024ULL;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v) {
+  return v * 1024ULL * 1024ULL;
+}
+
+}  // namespace sv

@@ -1,0 +1,34 @@
+// DataBuffer: the unit of data flowing on DataCutter logical streams.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace sv::dc {
+
+struct DataBuffer {
+  /// Logical payload size; drives all transport and computation timing.
+  std::uint64_t bytes = 0;
+  /// Unit-of-work this buffer belongs to.
+  std::uint64_t uow_id = 0;
+  /// Application tag (e.g. chunk index within a query).
+  std::uint64_t tag = 0;
+  /// Optional application metadata.
+  std::any meta;
+  /// Optional real payload (shared; the runtime never copies it).
+  std::shared_ptr<const std::vector<std::byte>> payload;
+  /// Stamped by the runtime when the buffer is first written to a stream.
+  SimTime created_at;
+};
+
+/// A unit of work: one application query handled by the filter group.
+struct Uow {
+  std::uint64_t id = 0;
+  std::any work;
+};
+
+}  // namespace sv::dc

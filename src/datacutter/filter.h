@@ -1,0 +1,63 @@
+// The DataCutter filter interface: init / process / finalize.
+//
+// A filter reads DataBuffers from its input streams and writes to its
+// output streams; the runtime invokes process() once per unit of work.
+// Transparent copies of a filter share the same logical streams; buffer
+// distribution between copies is handled by the stream scheduler (RR/DD).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/units.h"
+#include "datacutter/buffer.h"
+#include "net/cluster.h"
+#include "sim/simulation.h"
+
+namespace sv::dc {
+
+/// Per-copy runtime services available to filter code.
+class FilterContext {
+ public:
+  virtual ~FilterContext() = default;
+
+  /// Blocking read from input stream `input`. Returns nullopt at the end of
+  /// the current unit of work (or end of stream; see at_end_of_stream()).
+  virtual std::optional<DataBuffer> read(std::size_t input) = 0;
+  std::optional<DataBuffer> read() { return read(0); }
+
+  /// Writes a buffer to output stream `output`; the stream scheduler picks
+  /// the consumer copy. Blocks under transport flow control.
+  virtual void write(std::size_t output, DataBuffer buffer) = 0;
+  void write(DataBuffer buffer) { write(0, std::move(buffer)); }
+
+  /// Charges `work` of computation on this copy's node (subject to the
+  /// node's CPU count and slow factor).
+  virtual void compute(SimTime work) = 0;
+
+  /// The unit of work currently being processed (valid in process()).
+  [[nodiscard]] virtual const Uow& uow() const = 0;
+  /// True once every producer has closed every input stream.
+  [[nodiscard]] virtual bool at_end_of_stream() const = 0;
+
+  [[nodiscard]] virtual std::size_t copy_index() const = 0;
+  [[nodiscard]] virtual std::size_t input_count() const = 0;
+  [[nodiscard]] virtual std::size_t output_count() const = 0;
+  [[nodiscard]] virtual net::Node& node() const = 0;
+  [[nodiscard]] virtual sim::Simulation& sim() const = 0;
+};
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Called once when the copy is instantiated (allocate resources).
+  virtual void init(FilterContext& ctx) { (void)ctx; }
+  /// Called once per unit of work. Source filters (no inputs) generate and
+  /// write buffers; other filters read until read() returns nullopt.
+  virtual void process(FilterContext& ctx) = 0;
+  /// Called once when the stream shuts down (release resources).
+  virtual void finalize(FilterContext& ctx) { (void)ctx; }
+};
+
+}  // namespace sv::dc

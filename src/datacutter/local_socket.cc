@@ -1,0 +1,46 @@
+#include "datacutter/local_socket.h"
+
+namespace sv::dc {
+
+sockets::SocketPair LocalSocket::make_pair(sim::Simulation* sim,
+                                           net::Node* node,
+                                           const std::string& name) {
+  auto ab = std::make_shared<Queue>(sim, 0, name + ".ab");
+  auto ba = std::make_shared<Queue>(sim, 0, name + ".ba");
+  std::unique_ptr<sockets::SvSocket> a(new LocalSocket(sim, node, ab, ba));
+  std::unique_ptr<sockets::SvSocket> b(new LocalSocket(sim, node, ba, ab));
+  return {std::move(a), std::move(b)};
+}
+
+void LocalSocket::send(net::Message m) {
+  stats_.messages_sent++;
+  stats_.bytes_sent += m.bytes;
+  m.sent_at = sim_->now();
+  sim_->delay(kHandoffCost);
+  m.delivered_at = sim_->now();
+  out_->send(std::move(m));
+}
+
+std::optional<net::Message> LocalSocket::recv() {
+  auto m = in_->recv();
+  if (m) {
+    stats_.messages_received++;
+    stats_.bytes_received += m->bytes;
+  }
+  return m;
+}
+
+std::optional<net::Message> LocalSocket::try_recv() {
+  auto m = in_->try_recv();
+  if (m) {
+    stats_.messages_received++;
+    stats_.bytes_received += m->bytes;
+  }
+  return m;
+}
+
+void LocalSocket::close_send() {
+  if (!out_->closed()) out_->close();
+}
+
+}  // namespace sv::dc

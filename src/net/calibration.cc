@@ -1,0 +1,84 @@
+#include "net/calibration.h"
+
+namespace sv::net {
+
+const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::kVia: return "VIA";
+    case Transport::kSocketVia: return "SocketVIA";
+    case Transport::kKernelTcp: return "TCP";
+  }
+  return "?";
+}
+
+CalibrationProfile CalibrationProfile::via() {
+  CalibrationProfile p;
+  p.name = "VIA";
+  p.send_fixed = SimTime::nanoseconds(3600);
+  p.send_per_seg = SimTime::nanoseconds(300);   // doorbell + descriptor
+  p.send_per_byte = PerByteCost::zero();        // zero-copy DMA from user buf
+  p.wire_per_seg = SimTime::nanoseconds(200);
+  p.wire_per_byte = PerByteCost::picos_per_byte(10'000);  // PCI ~99.4 MB/s
+  p.propagation = SimTime::nanoseconds(1000);   // cLAN switch + cable
+  p.recv_fixed = SimTime::nanoseconds(3600);
+  p.recv_per_seg = SimTime::nanoseconds(300);   // completion handling
+  p.recv_per_byte = PerByteCost::zero();
+  p.segment_bytes = 4096;                       // NIC DMA burst
+  p.pipeline_frame_bytes = p.segment_bytes;
+  p.window_bytes = 256 * 1024;                  // deep descriptor queue
+  return p;
+}
+
+CalibrationProfile CalibrationProfile::socket_via() {
+  CalibrationProfile p = via();
+  p.name = "SocketVIA";
+  p.send_fixed = SimTime::nanoseconds(3850);    // socket-emulation bookkeeping
+  p.recv_fixed = SimTime::nanoseconds(3850);
+  p.send_per_seg = SimTime::nanoseconds(400);
+  p.recv_per_seg = SimTime::nanoseconds(400);
+  // Credit/header traffic shares the DMA path: 10.45 ns/B -> 763 Mbps peak.
+  p.wire_per_byte = PerByteCost::picos_per_byte(10'450);
+  p.window_bytes = 128 * 1024;                  // 32 credits x 4 KB chunks
+  return p;
+}
+
+CalibrationProfile CalibrationProfile::kernel_tcp() {
+  CalibrationProfile p;
+  p.name = "TCP";
+  p.send_fixed = SimTime::nanoseconds(13'500);  // syscall + kernel entry
+  p.send_per_seg = SimTime::nanoseconds(7'000);
+  p.send_per_byte = PerByteCost::picos_per_byte(9'000);   // user->kernel copy
+  p.wire_per_seg = SimTime::nanoseconds(400);   // 58 B headers on the wire
+  p.wire_per_byte = PerByteCost::picos_per_byte(6'400);   // 1.25 Gb/s link
+  p.propagation = SimTime::nanoseconds(5000);   // IP path + switch
+  p.recv_fixed = SimTime::nanoseconds(13'500);
+  p.recv_per_seg = SimTime::nanoseconds(8'000); // interrupt + TCP/IP input
+  // checksum + kernel->user copy; makes the receiver the 510 Mbps bottleneck:
+  // 8 us + 1460 B * 10.2 ns/B = 22.9 us per segment.
+  p.recv_per_byte = PerByteCost::picos_per_byte(10'200);
+  p.segment_bytes = 1460;                       // Ethernet MSS
+  p.pipeline_frame_bytes = p.segment_bytes;
+  p.window_bytes = 64 * 1024;                   // default socket buffer
+  return p;
+}
+
+CalibrationProfile CalibrationProfile::fast_ethernet_tcp() {
+  CalibrationProfile p = kernel_tcp();
+  p.name = "TCP/FastEthernet";
+  // 100 Mb/s wire (12.5 MB/s): the wire, not the host, is the bottleneck.
+  p.wire_per_byte = PerByteCost::picos_per_byte(80'000);
+  p.wire_per_seg = SimTime::nanoseconds(4'640);  // 58 B headers at 100 Mb/s
+  p.propagation = SimTime::microseconds(30);     // store-and-forward switch
+  return p;
+}
+
+CalibrationProfile CalibrationProfile::for_transport(Transport t) {
+  switch (t) {
+    case Transport::kVia: return via();
+    case Transport::kSocketVia: return socket_via();
+    case Transport::kKernelTcp: return kernel_tcp();
+  }
+  return via();
+}
+
+}  // namespace sv::net

@@ -1,0 +1,27 @@
+#include "net/cluster.h"
+
+namespace sv::net {
+
+Node::Node(sim::Simulation* sim, int id, const NodeConfig& cfg)
+    : sim_(sim),
+      id_(id),
+      cfg_(cfg),
+      name_("node" + std::to_string(id)),
+      cpu_(sim, cfg.cpus, name_ + ".cpu"),
+      tx_host_(sim, 1, name_ + ".tx"),
+      link_in_(sim, 1, name_ + ".link_in"),
+      rx_proto_(sim, 1, name_ + ".rx_proto") {}
+
+void Node::compute(SimTime work) {
+  cpu_.use(work * cfg_.slow_factor);
+}
+
+Cluster::Cluster(sim::Simulation* sim, int node_count, const NodeConfig& cfg)
+    : sim_(sim) {
+  nodes_.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, i, cfg));
+  }
+}
+
+}  // namespace sv::net

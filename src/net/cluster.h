@@ -1,0 +1,77 @@
+// The simulated cluster: nodes with CPU and network-path resources.
+//
+// Mirrors the paper's testbed shape: N nodes, each with `cpus` cores (the
+// Dell Precision 420s were dual 1 GHz PIII) and a NIC. Per node we model
+// three contended service points:
+//   cpu      - application computation (filters), capacity = cores
+//   tx_host  - sender-side host path (syscall/copy or doorbell), capacity 1
+//   link_in  - inbound link/DMA path at the receiver, capacity 1
+//   rx_proto - receiver-side protocol processing, capacity 1
+// Concurrent connections into one node share these, which is what makes a
+// busy visualization server a bottleneck in the paper's experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace sv::net {
+
+struct NodeConfig {
+  int cpus = 2;
+  /// Relative CPU speed divisor; 1 = nominal. The heterogeneity experiments
+  /// (Figures 10/11) slow a node by running computations `slow_factor`x
+  /// longer. This is the static factor; dynamic slowdown is applied by the
+  /// application layer.
+  int slow_factor = 1;
+};
+
+class Node {
+ public:
+  Node(sim::Simulation* sim, int id, const NodeConfig& cfg);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+
+  /// Runs `work` of computation on this node (blocks the calling process
+  /// for the scaled duration while holding a core).
+  void compute(SimTime work);
+
+  sim::Resource& cpu() { return cpu_; }
+  sim::Resource& tx_host() { return tx_host_; }
+  sim::Resource& link_in() { return link_in_; }
+  sim::Resource& rx_proto() { return rx_proto_; }
+
+ private:
+  sim::Simulation* sim_;
+  int id_;
+  NodeConfig cfg_;
+  std::string name_;
+  sim::Resource cpu_;
+  sim::Resource tx_host_;
+  sim::Resource link_in_;
+  sim::Resource rx_proto_;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation* sim, int node_count,
+          const NodeConfig& cfg = NodeConfig{});
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] sim::Simulation& sim() { return *sim_; }
+
+ private:
+  sim::Simulation* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace sv::net

@@ -1,0 +1,161 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sv::net {
+
+Pipe::State::State(sim::Simulation* sim_in, Node* src_in, Node* dst_in,
+                   CalibrationProfile profile_in, std::string name_in)
+    : sim(sim_in),
+      src(src_in),
+      dst(dst_in),
+      profile(std::move(profile_in)),
+      model(profile),
+      name(std::move(name_in)),
+      window_waiters(sim_in, name + ".window"),
+      to_wire(sim_in, 0, name + ".wire_q"),
+      to_proto(sim_in, 0, name + ".proto_q"),
+      delivered(sim_in, 0, name + ".delivered_q") {}
+
+Pipe::Pipe(sim::Simulation* sim, Node* src, Node* dst,
+           CalibrationProfile profile, std::string name)
+    : st_(std::make_shared<State>(sim, src, dst, std::move(profile),
+                                  std::move(name))) {
+  sim->spawn(st_->name + ".wire", [st = st_] { st->wire_loop(); });
+  sim->spawn(st_->name + ".proto", [st = st_] { st->proto_loop(); });
+}
+
+Pipe::~Pipe() {
+  // Stop intake and wake any blocked receiver; the stage processes co-own
+  // the state and wind down on their own. to_proto stays open so in-flight
+  // propagation events can still land safely.
+  st_->closed = true;
+  st_->to_wire.close();
+  st_->delivered.close();
+}
+
+SimTime Pipe::State::sender_frame_time(const Frame& f) const {
+  SimTime t = profile.send_per_seg *
+                  static_cast<std::int64_t>(model.segments(f.bytes)) +
+              profile.send_per_byte.for_bytes(f.bytes);
+  if (f.first) t += profile.send_fixed;  // per-message cost, once
+  return t;
+}
+
+SimTime Pipe::State::recv_frame_time(const Frame& f) const {
+  SimTime t = profile.recv_per_seg *
+                  static_cast<std::int64_t>(model.segments(f.bytes)) +
+              profile.recv_per_byte.for_bytes(f.bytes);
+  if (f.last) t += profile.recv_fixed;  // delivery-to-application cost
+  return t;
+}
+
+void Pipe::send(Message m) {
+  State& st = *st_;
+  if (st.closed) {
+    throw std::logic_error("Pipe[" + st.name + "]::send after close");
+  }
+  m.seq = st.next_seq++;
+  m.sent_at = st.sim->now();
+  ++st.sent_count;
+  st.bytes_sent += m.bytes;
+
+  const std::uint64_t frame_cap =
+      std::max<std::uint64_t>(1, st.profile.pipeline_frame_bytes);
+  std::uint64_t remaining = m.bytes;
+  bool first = true;
+  while (true) {
+    const std::uint64_t flen = std::min(remaining, frame_cap);
+    remaining -= flen;
+    const bool last = remaining == 0;
+    // Flow control: block until this frame fits in the window (a frame is
+    // always admitted when nothing is in flight, guaranteeing progress).
+    while (st.in_flight_bytes > 0 &&
+           st.in_flight_bytes + flen > st.profile.window_bytes) {
+      st.window_waiters.wait();
+    }
+    st.in_flight_bytes += flen;
+    Frame f;
+    f.bytes = flen;
+    f.first = first;
+    f.last = last;
+    if (last) f.msg = std::move(m);
+    // Sender-host stage, serialized with other sends from this node.
+    st.src->tx_host().use(st.sender_frame_time(f));
+    st.to_wire.send(std::move(f));
+    if (last) break;
+    first = false;
+  }
+}
+
+void Pipe::close() {
+  State& st = *st_;
+  if (st.closed) return;
+  st.closed = true;
+  Frame f;
+  f.eof = true;
+  st.to_wire.send(std::move(f));
+}
+
+std::optional<Message> Pipe::recv() { return st_->delivered.recv(); }
+
+std::optional<Message> Pipe::try_recv() { return st_->delivered.try_recv(); }
+
+std::size_t Pipe::pending() const { return st_->delivered.size(); }
+
+bool Pipe::closed() const { return st_->closed; }
+
+const CostModel& Pipe::model() const { return st_->model; }
+
+Node& Pipe::src() const { return *st_->src; }
+
+Node& Pipe::dst() const { return *st_->dst; }
+
+const std::string& Pipe::name() const { return st_->name; }
+
+std::uint64_t Pipe::messages_sent() const { return st_->sent_count; }
+
+std::uint64_t Pipe::bytes_sent() const { return st_->bytes_sent; }
+
+void Pipe::State::wire_loop() {
+  while (auto f = to_wire.recv()) {
+    const bool eof = f->eof;
+    // Inbound link / DMA occupancy at the destination (EOF is free).
+    if (!eof) {
+      dst->link_in().use(model.wire_time(f->bytes));
+    }
+    // Propagation is latency, not occupancy: hand off without blocking this
+    // stage so back-to-back frames overlap their flight time. EOF takes the
+    // same path so it cannot overtake the final data frame. to_proto is
+    // unbounded, so the event-context send cannot block. The event co-owns
+    // the state via shared_ptr (safe across Pipe destruction).
+    auto shared = std::make_shared<Frame>(std::move(*f));
+    sim->schedule(profile.propagation, [self = shared_from_this(), shared] {
+      self->to_proto.send(std::move(*shared));
+    });
+    if (eof) break;
+  }
+}
+
+void Pipe::State::proto_loop() {
+  while (auto f = to_proto.recv()) {
+    if (f->eof) {
+      if (!delivered.closed()) delivered.close();
+      break;
+    }
+    // Receiver-side protocol processing (the kernel-TCP bottleneck).
+    dst->rx_proto().use(recv_frame_time(*f));
+    // Return window credit.
+    in_flight_bytes -= f->bytes;
+    window_waiters.notify_all();
+    if (f->last) {
+      f->msg.delivered_at = sim->now();
+      if (!delivered.closed()) {
+        delivered.send(std::move(f->msg));
+      }
+    }
+  }
+}
+
+}  // namespace sv::net

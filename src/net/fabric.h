@@ -1,0 +1,132 @@
+// The executed transport fabric: flow-controlled, staged message pipes.
+//
+// A Pipe is one unidirectional connection between two nodes, parameterized
+// by a CalibrationProfile. Each message is split into pipeline frames that
+// cross three stages:
+//
+//   sender thread --(window)--> [tx_host] --> wire proc [link_in @ dst]
+//        --propagation--> proto proc [rx_proto @ dst] --> receive queue
+//
+// Stage occupancy uses the per-node shared resources from cluster.h, so
+// concurrent connections contend realistically (the mechanism behind the
+// paper's application-level results). Flow control returns window credit
+// when the receiver-side protocol stage finishes a frame, modeling the TCP
+// advertised window / SocketVIA credit scheme.
+//
+// Lifetime: the internal stage processes co-own the pipe state, so a Pipe
+// handle may be destroyed at any simulated time; in-flight work finishes
+// against the shared state and the processes wind down. Nodes and the
+// Simulation must outlive message flow.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/calibration.h"
+#include "net/cluster.h"
+#include "net/cost_model.h"
+#include "sim/sync.h"
+
+namespace sv::net {
+
+struct Message {
+  /// Logical size that drives all timing (payload need not be materialized).
+  std::uint64_t bytes = 0;
+  /// Per-pipe sequence number, assigned by send().
+  std::uint64_t seq = 0;
+  /// Application tag (e.g. DataCutter stream id or query id).
+  std::uint64_t tag = 0;
+  /// Timestamps for latency accounting.
+  SimTime sent_at;
+  SimTime delivered_at;
+  /// Optional real payload (shared, never copied by the fabric).
+  std::shared_ptr<const std::vector<std::byte>> payload;
+  /// Optional application metadata (e.g. a DataCutter buffer descriptor).
+  std::any meta;
+};
+
+class Pipe {
+ public:
+  /// Creates a connected pipe from `src` to `dst`. Spawns the two internal
+  /// stage processes. The Simulation must outlive all message flow.
+  Pipe(sim::Simulation* sim, Node* src, Node* dst, CalibrationProfile profile,
+       std::string name);
+  ~Pipe();
+
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  /// Blocking send (call from a simulated process on the source node's
+  /// side). Blocks while the flow-control window is exhausted, then spends
+  /// the sender-host time before returning (the blocking-socket model the
+  /// paper's applications use).
+  void send(Message m);
+
+  /// Blocking receive; nullopt after close() once drained.
+  std::optional<Message> recv();
+  /// Non-blocking receive.
+  std::optional<Message> try_recv();
+  /// Number of fully-delivered messages waiting in the receive queue.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Closes the sending side; in-flight messages still deliver, then
+  /// receivers see end-of-stream.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+  [[nodiscard]] const CostModel& model() const;
+  [[nodiscard]] Node& src() const;
+  [[nodiscard]] Node& dst() const;
+  [[nodiscard]] const std::string& name() const;
+
+  /// Totals for reporting.
+  [[nodiscard]] std::uint64_t messages_sent() const;
+  [[nodiscard]] std::uint64_t bytes_sent() const;
+
+ private:
+  struct Frame {
+    std::uint64_t bytes = 0;
+    bool first = false;
+    bool last = false;
+    bool eof = false;
+    Message msg;  // populated on the last frame of each message
+  };
+
+  /// All mutable pipe state, co-owned by the stage processes so the Pipe
+  /// handle can be destroyed while work is still in flight.
+  struct State : std::enable_shared_from_this<State> {
+    State(sim::Simulation* sim_in, Node* src_in, Node* dst_in,
+          CalibrationProfile profile_in, std::string name_in);
+
+    [[nodiscard]] SimTime sender_frame_time(const Frame& f) const;
+    [[nodiscard]] SimTime recv_frame_time(const Frame& f) const;
+    void wire_loop();
+    void proto_loop();
+
+    sim::Simulation* sim;
+    Node* src;
+    Node* dst;
+    CalibrationProfile profile;
+    CostModel model;
+    std::string name;
+
+    std::uint64_t next_seq = 0;
+    std::uint64_t sent_count = 0;
+    std::uint64_t bytes_sent = 0;
+    bool closed = false;
+
+    std::uint64_t in_flight_bytes = 0;
+    sim::WaitQueue window_waiters;
+
+    sim::Channel<Frame> to_wire;
+    sim::Channel<Frame> to_proto;
+    sim::Channel<Message> delivered;
+  };
+
+  std::shared_ptr<State> st_;
+};
+
+}  // namespace sv::net

@@ -1,0 +1,76 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sv::sim {
+
+std::uint64_t Engine::schedule_at(SimTime t, Handler fn) {
+  if (t < now_) {
+    throw std::logic_error("Engine::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+std::uint64_t Engine::schedule(SimTime delay, Handler fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(std::uint64_t id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Only mark ids that are still pending; we cannot cheaply check membership
+  // in the heap, so callers may only cancel ids they know are pending.
+  const auto [_, inserted] = cancelled_.insert(id);
+  if (!inserted) return false;
+  if (live_events_ == 0) return false;
+  --live_events_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    --live_events_;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    // Peek: skip tombstones without advancing the clock.
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    --live_events_;
+    ++fired_;
+    ev.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace sv::sim

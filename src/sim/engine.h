@@ -1,0 +1,70 @@
+// Discrete-event core: a clock and a (time, seq)-ordered event queue.
+//
+// Events with equal timestamps fire in insertion order, which — together
+// with the one-process-at-a-time execution model in simulation.h — makes
+// every run of a seeded experiment bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace sv::sim {
+
+class Engine {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to fire at absolute time `t` (must be >= now()).
+  /// Returns an id usable with `cancel`.
+  std::uint64_t schedule_at(SimTime t, Handler fn);
+  /// Schedules `fn` to fire `delay` after now().
+  std::uint64_t schedule(SimTime delay, Handler fn);
+
+  /// Cancels a pending event; returns false if already fired/cancelled.
+  bool cancel(std::uint64_t id);
+
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_events_; }
+
+  /// Pops and runs the next event; returns false if the queue is empty.
+  bool step();
+  /// Runs events until the queue is empty.
+  void run();
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(SimTime t);
+
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Cancelled ids are tombstoned and skipped on pop.
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace sv::sim

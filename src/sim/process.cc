@@ -1,0 +1,56 @@
+#include "sim/process.h"
+
+#include "sim/simulation.h"
+
+namespace sv::sim {
+
+Process::Process(Simulation* sim, std::uint64_t id, std::string name,
+                 std::function<void()> body)
+    : sim_(sim), id_(id), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] { trampoline(); });
+}
+
+Process::~Process() {
+  // Simulation guarantees the process has finished (or been killed) before
+  // destruction; join here as the final safety net.
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::trampoline() {
+  {
+    // Wait for the first resume before touching any simulation state.
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_.wait(lk, [this] { return ctl_ == Ctl::kProcess; });
+  }
+  started_ = true;
+  try {
+    body_();
+  } catch (const ProcessKilled&) {
+    // Normal shutdown path.
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  finished_ = true;
+  // Hand control back one last time; the scheduler observes finished_.
+  std::unique_lock<std::mutex> lk(mutex_);
+  ctl_ = Ctl::kScheduler;
+  cv_.notify_all();
+}
+
+void Process::resume_from_scheduler() {
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    ctl_ = Ctl::kProcess;
+    cv_.notify_all();
+    cv_.wait(lk, [this] { return ctl_ == Ctl::kScheduler; });
+  }
+}
+
+void Process::yield_to_scheduler() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  ctl_ = Ctl::kScheduler;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return ctl_ == Ctl::kProcess; });
+}
+
+}  // namespace sv::sim

@@ -1,0 +1,74 @@
+// A simulated process: user code that runs on its own OS thread but is
+// scheduled cooperatively — exactly one process (or the scheduler) executes
+// at any instant, so simulation state needs no locking and runs are
+// deterministic.
+//
+// Processes block inside simulated primitives (delay, channels, resources);
+// the scheduler resumes them when the corresponding simulated event fires.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace sv::sim {
+
+class Simulation;
+
+/// Thrown inside a process when the simulation shuts down while the process
+/// is blocked; unwinds the process thread cleanly. User code should not
+/// catch it (or must rethrow).
+struct ProcessKilled {};
+
+class Process {
+ public:
+  Process(Simulation* sim, std::uint64_t id, std::string name,
+          std::function<void()> body);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool blocked() const { return blocked_; }
+  /// Non-empty label describing what the process is blocked on (diagnostics).
+  [[nodiscard]] const std::string& block_reason() const {
+    return block_reason_;
+  }
+
+ private:
+  friend class Simulation;
+
+  enum class Ctl { kScheduler, kProcess };
+
+  /// Scheduler-side: hand control to the process, wait until it yields back.
+  void resume_from_scheduler();
+  /// Process-side: hand control back to the scheduler, wait to be resumed.
+  void yield_to_scheduler();
+  void trampoline();
+
+  Simulation* sim_;
+  std::uint64_t id_;
+  std::string name_;
+  std::function<void()> body_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Ctl ctl_ = Ctl::kScheduler;
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool blocked_ = false;       // waiting for an explicit wake()
+  std::uint64_t wait_epoch_ = 0;  // bumps on every block; guards stale wakes
+  std::string block_reason_;
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
+}  // namespace sv::sim

@@ -1,0 +1,129 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace sv::sim {
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() {
+  shutting_down_ = true;
+  // Unwind every live process: resuming a blocked process makes its blocking
+  // primitive observe shutting_down_ and throw ProcessKilled. Index loop:
+  // a dying process could in principle spawn (processes_ may grow).
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    while (!processes_[i]->finished_) {
+      resume(*processes_[i]);
+    }
+  }
+}
+
+Process& Simulation::spawn_impl(std::string name, std::function<void()> body) {
+  processes_.push_back(std::make_unique<Process>(
+      this, next_process_id_++, std::move(name), std::move(body)));
+  Process* p = processes_.back().get();
+  engine_.schedule(SimTime::zero(), [this, p] { resume(*p); });
+  return *p;
+}
+
+void Simulation::resume(Process& p) {
+  if (p.finished_) return;
+  Process* prev = current_;
+  current_ = &p;
+  p.resume_from_scheduler();
+  current_ = prev;
+  if (p.error_) {
+    auto err = p.error_;
+    p.error_ = nullptr;
+    if (shutting_down_) {
+      SV_ERROR("sim") << "process '" << p.name()
+                      << "' threw during shutdown; exception dropped";
+    } else {
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void Simulation::check_current_killed() {
+  if (shutting_down_) throw ProcessKilled{};
+}
+
+void Simulation::delay(SimTime d) {
+  Process* p = current_;
+  if (p == nullptr) {
+    throw std::logic_error("Simulation::delay called outside a process");
+  }
+  if (d < SimTime::zero()) {
+    throw std::invalid_argument("Simulation::delay: negative duration");
+  }
+  p->blocked_ = true;
+  p->block_reason_ = "delay";
+  const std::uint64_t epoch = ++p->wait_epoch_;
+  engine_.schedule(d, [this, p, epoch] {
+    if (p->blocked_ && p->wait_epoch_ == epoch) {
+      p->blocked_ = false;
+      resume(*p);
+    }
+  });
+  p->yield_to_scheduler();
+  check_current_killed();
+}
+
+void Simulation::block_current(const std::string& reason) {
+  Process* p = current_;
+  if (p == nullptr) {
+    throw std::logic_error("Simulation::block_current outside a process");
+  }
+  p->blocked_ = true;
+  p->block_reason_ = reason;
+  ++p->wait_epoch_;
+  p->yield_to_scheduler();
+  check_current_killed();
+}
+
+void Simulation::wake(Process& p) {
+  // During shutdown, destructor cascades (channels closing as objects die)
+  // may try to wake processes that were already destroyed; everything is
+  // being unwound anyway, so waking is a no-op. Checked before touching
+  // `p`, whose memory may already be gone.
+  if (shutting_down_) return;
+  if (!p.blocked_ || p.finished_) return;
+  // Claim the wakeup immediately so double-wakes are no-ops, but deliver it
+  // through the event queue to preserve deterministic ordering.
+  p.blocked_ = false;
+  engine_.schedule(SimTime::zero(), [this, &p] { resume(p); });
+}
+
+void Simulation::run() {
+  running_ = true;
+  engine_.run();
+  running_ = false;
+}
+
+void Simulation::run_until(SimTime t) {
+  running_ = true;
+  engine_.run_until(t);
+  running_ = false;
+}
+
+std::size_t Simulation::live_process_count() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished()) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Simulation::blocked_process_names() const {
+  std::vector<std::string> names;
+  for (const auto& p : processes_) {
+    if (!p->finished() && p->blocked()) {
+      names.push_back(p->name() + " (" + p->block_reason() + ")");
+    }
+  }
+  return names;
+}
+
+}  // namespace sv::sim

@@ -1,0 +1,106 @@
+// Simulation: the facade tying the event engine to simulated processes.
+//
+// Usage:
+//   sim::Simulation s;
+//   s.spawn("producer", [&] { s.delay(5_us); ch.send(42); });
+//   s.spawn("consumer", [&] { int v = ch.recv(); });
+//   s.run();
+//
+// Only one process runs at a time; all simulation state is single-threaded.
+// Spawning, scheduling and waking are legal both from processes and from
+// plain event handlers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/process.h"
+
+namespace sv::sim {
+
+class Simulation {
+ public:
+  Simulation();
+  /// Destroys the simulation; any still-blocked processes are unwound via
+  /// ProcessKilled so their threads join cleanly.
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Creates a process that starts at the current simulated time. Accepts
+  /// move-only callables (wrapped internally; std::function requires
+  /// copyability).
+  template <typename F>
+  Process& spawn(std::string name, F&& body) {
+    if constexpr (std::is_copy_constructible_v<std::decay_t<F>>) {
+      return spawn_impl(std::move(name), std::function<void()>(
+                                             std::forward<F>(body)));
+    } else {
+      auto holder =
+          std::make_shared<std::decay_t<F>>(std::forward<F>(body));
+      return spawn_impl(std::move(name), [holder] { (*holder)(); });
+    }
+  }
+
+  /// Schedules a plain (non-blocking) handler.
+  std::uint64_t schedule(SimTime delay, std::function<void()> fn) {
+    return engine_.schedule(delay, std::move(fn));
+  }
+  std::uint64_t schedule_at(SimTime t, std::function<void()> fn) {
+    return engine_.schedule_at(t, std::move(fn));
+  }
+  bool cancel(std::uint64_t event_id) { return engine_.cancel(event_id); }
+
+  [[nodiscard]] SimTime now() const { return engine_.now(); }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+  /// Runs until no events remain (blocked processes may still exist — that
+  /// models processes waiting forever). Rethrows the first process error.
+  void run();
+  void run_until(SimTime t);
+  void run_for(SimTime d) { run_until(now() + d); }
+
+  // ---- Callable only from inside a process ----
+
+  /// The currently-running process, or nullptr when in the scheduler.
+  [[nodiscard]] Process* current() const { return current_; }
+
+  /// Advances this process by `d` of simulated time.
+  void delay(SimTime d);
+  /// Blocks this process until some other party calls wake() on it.
+  /// `reason` shows up in diagnostics for deadlocked runs.
+  void block_current(const std::string& reason);
+  /// Wakes a process blocked in block_current(); no-op if not blocked.
+  /// The process resumes via an event at the current simulated time.
+  void wake(Process& p);
+
+  // ---- Introspection ----
+  [[nodiscard]] std::size_t live_process_count() const;
+  [[nodiscard]] std::vector<std::string> blocked_process_names() const;
+  [[nodiscard]] bool shutting_down() const { return shutting_down_; }
+  [[nodiscard]] std::uint64_t events_fired() const {
+    return engine_.events_fired();
+  }
+
+ private:
+  friend class Process;
+
+  Process& spawn_impl(std::string name, std::function<void()> body);
+  void resume(Process& p);
+  void check_current_killed();
+
+  Engine engine_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* current_ = nullptr;
+  std::uint64_t next_process_id_ = 1;
+  bool shutting_down_ = false;
+  bool running_ = false;
+};
+
+}  // namespace sv::sim

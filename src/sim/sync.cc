@@ -1,0 +1,86 @@
+#include "sim/sync.h"
+
+namespace sv::sim {
+
+void WaitQueue::scrub() {
+  while (!entries_.empty() && entries_.front()->done) {
+    entries_.pop_front();
+  }
+}
+
+void WaitQueue::wait() {
+  Process* p = sim_->current();
+  if (p == nullptr) {
+    throw std::logic_error("WaitQueue[" + name_ + "]::wait outside process");
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->proc = p;
+  entries_.push_back(entry);
+  sim_->block_current(name_);
+}
+
+bool WaitQueue::wait_for(SimTime timeout) {
+  Process* p = sim_->current();
+  if (p == nullptr) {
+    throw std::logic_error("WaitQueue[" + name_ +
+                           "]::wait_for outside process");
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->proc = p;
+  entries_.push_back(entry);
+  // The timeout event deliberately captures only the shared entry and the
+  // simulation — never `this` — so it stays safe even if the WaitQueue is
+  // destroyed before the event fires. Timed-out entries are lazily scrubbed.
+  sim_->schedule(timeout, [sim = sim_, entry] {
+    if (entry->done) return;
+    entry->done = true;
+    entry->notified = false;
+    sim->wake(*entry->proc);
+  });
+  sim_->block_current(name_);
+  return entry->notified;
+}
+
+bool WaitQueue::notify_one() {
+  scrub();
+  if (entries_.empty()) return false;
+  auto entry = entries_.front();
+  entries_.pop_front();
+  entry->done = true;
+  entry->notified = true;
+  sim_->wake(*entry->proc);
+  return true;
+}
+
+void WaitQueue::notify_all() {
+  while (notify_one()) {
+  }
+}
+
+std::size_t WaitQueue::waiter_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (!e->done) ++n;
+  }
+  return n;
+}
+
+void Semaphore::acquire() {
+  while (count_ <= 0) {
+    queue_.wait();
+  }
+  --count_;
+}
+
+bool Semaphore::try_acquire() {
+  if (count_ <= 0) return false;
+  --count_;
+  return true;
+}
+
+void Semaphore::release() {
+  ++count_;
+  queue_.notify_one();
+}
+
+}  // namespace sv::sim

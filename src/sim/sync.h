@@ -1,0 +1,153 @@
+// Simulated synchronization primitives built on Simulation::block/wake.
+//
+// All primitives are condition-variable style: a woken waiter re-checks its
+// predicate, so these compose safely even with multiple producers/consumers.
+// FIFO wake order keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace sv::sim {
+
+/// A FIFO queue of blocked processes; the building block for conditions,
+/// semaphores and channels.
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulation* sim, std::string name = "waitq")
+      : sim_(sim), name_(std::move(name)) {}
+
+  /// Blocks the calling process until notified.
+  void wait();
+  /// Blocks until notified or until `timeout` elapses.
+  /// Returns true if notified, false on timeout.
+  bool wait_for(SimTime timeout);
+
+  /// Wakes the oldest waiter; returns false if none.
+  bool notify_one();
+  /// Wakes all current waiters.
+  void notify_all();
+
+  [[nodiscard]] std::size_t waiter_count() const;
+  [[nodiscard]] bool has_waiters() const { return waiter_count() > 0; }
+
+ private:
+  struct Entry {
+    Process* proc;
+    bool notified = false;
+    bool done = false;  // true once notified or timed out
+  };
+
+  void scrub();
+
+  Simulation* sim_;
+  std::string name_;
+  std::deque<std::shared_ptr<Entry>> entries_;
+};
+
+/// Counting semaphore with FIFO handoff.
+class Semaphore {
+ public:
+  Semaphore(Simulation* sim, std::int64_t initial, std::string name = "sem")
+      : sim_(sim), count_(initial), queue_(sim, std::move(name)) {}
+
+  void acquire();
+  /// Non-blocking acquire; true on success.
+  bool try_acquire();
+  void release();
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] std::size_t waiter_count() const {
+    return queue_.waiter_count();
+  }
+
+ private:
+  Simulation* sim_;
+  std::int64_t count_;
+  WaitQueue queue_;
+};
+
+/// Bounded (or unbounded with capacity 0 meaning "no limit") FIFO channel.
+/// send() blocks while full; recv() blocks while empty. close() makes
+/// further recv() calls drain remaining items then return nullopt.
+template <typename T>
+class Channel {
+ public:
+  Channel(Simulation* sim, std::size_t capacity, std::string name = "chan")
+      : sim_(sim),
+        capacity_(capacity),
+        name_(std::move(name)),
+        senders_(sim, name_ + ".send"),
+        receivers_(sim, name_ + ".recv") {}
+
+  /// Blocks while the channel is full. Throws if the channel is closed.
+  void send(T item) {
+    while (capacity_ != 0 && items_.size() >= capacity_ && !closed_) {
+      senders_.wait();
+    }
+    if (closed_) {
+      throw std::logic_error("Channel[" + name_ + "]: send after close");
+    }
+    items_.push_back(std::move(item));
+    receivers_.notify_one();
+  }
+
+  /// Non-blocking send; false if full or closed.
+  bool try_send(T item) {
+    if (closed_) return false;
+    if (capacity_ != 0 && items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    receivers_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed and drained.
+  std::optional<T> recv() {
+    while (items_.empty() && !closed_) {
+      receivers_.wait();
+    }
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    senders_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    senders_.notify_one();
+    return item;
+  }
+
+  /// Marks the channel closed; wakes all blocked parties.
+  void close() {
+    closed_ = true;
+    receivers_.notify_all();
+    senders_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  Simulation* sim_;
+  std::size_t capacity_;
+  std::string name_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  WaitQueue senders_;
+  WaitQueue receivers_;
+};
+
+}  // namespace sv::sim

@@ -1,0 +1,61 @@
+#include "sockets/factory.h"
+
+#include <stdexcept>
+
+#include "sockets/fast_socket.h"
+#include "sockets/tcp_socket.h"
+#include "sockets/via_socket.h"
+
+namespace sv::sockets {
+
+SocketFactory::SocketFactory(sim::Simulation* sim, net::Cluster* cluster,
+                             Fidelity fidelity)
+    : sim_(sim), cluster_(cluster), fidelity_(fidelity) {}
+
+tcpstack::TcpStack& SocketFactory::tcp_stack(std::size_t node) {
+  auto it = tcp_stacks_.find(node);
+  if (it == tcp_stacks_.end()) {
+    it = tcp_stacks_
+             .emplace(node, std::make_unique<tcpstack::TcpStack>(
+                                sim_, &cluster_->node(node)))
+             .first;
+  }
+  return *it->second;
+}
+
+via::Nic& SocketFactory::via_nic(std::size_t node) {
+  auto it = via_nics_.find(node);
+  if (it == via_nics_.end()) {
+    it = via_nics_
+             .emplace(node, std::make_unique<via::Nic>(
+                                sim_, &cluster_->node(node)))
+             .first;
+  }
+  return *it->second;
+}
+
+SocketPair SocketFactory::connect(std::size_t src, std::size_t dst,
+                                  net::Transport transport) {
+  const std::string name = std::string(net::transport_name(transport)) +
+                           ".conn" + std::to_string(next_conn_id_++);
+  if (fidelity_ == Fidelity::kFast) {
+    auto profile = net::CalibrationProfile::for_transport(transport);
+    if (window_override_ != 0) profile.window_bytes = window_override_;
+    return FastSocket::make_pair(sim_, &cluster_->node(src),
+                                 &cluster_->node(dst), transport, profile,
+                                 name);
+  }
+  switch (transport) {
+    case net::Transport::kKernelTcp:
+      return DetailedTcpSocket::make_pair(tcp_stack(src), tcp_stack(dst));
+    case net::Transport::kSocketVia:
+      return DetailedViaSocket::make_pair(via_nic(src), via_nic(dst));
+    case net::Transport::kVia:
+      throw std::invalid_argument(
+          "SocketFactory: raw VIA has no detailed sockets layer; use "
+          "via::Nic directly");
+  }
+  throw std::invalid_argument("SocketFactory: unknown transport");
+}
+
+}  // namespace sv::sockets

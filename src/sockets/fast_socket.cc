@@ -1,0 +1,42 @@
+#include "sockets/fast_socket.h"
+
+namespace sv::sockets {
+
+SocketPair FastSocket::make_pair(sim::Simulation* sim, net::Node* a,
+                                 net::Node* b, net::Transport transport,
+                                 net::CalibrationProfile profile,
+                                 const std::string& name) {
+  auto ab = std::make_shared<net::Pipe>(sim, a, b, profile, name + ".ab");
+  auto ba = std::make_shared<net::Pipe>(sim, b, a, profile, name + ".ba");
+  std::unique_ptr<SvSocket> sa(new FastSocket(transport, a, ab, ba));
+  std::unique_ptr<SvSocket> sb(new FastSocket(transport, b, ba, ab));
+  return {std::move(sa), std::move(sb)};
+}
+
+void FastSocket::send(net::Message m) {
+  stats_.messages_sent++;
+  stats_.bytes_sent += m.bytes;
+  out_->send(std::move(m));
+}
+
+std::optional<net::Message> FastSocket::recv() {
+  auto m = in_->recv();
+  if (m) {
+    stats_.messages_received++;
+    stats_.bytes_received += m->bytes;
+  }
+  return m;
+}
+
+std::optional<net::Message> FastSocket::try_recv() {
+  auto m = in_->try_recv();
+  if (m) {
+    stats_.messages_received++;
+    stats_.bytes_received += m->bytes;
+  }
+  return m;
+}
+
+void FastSocket::close_send() { out_->close(); }
+
+}  // namespace sv::sockets

@@ -1,0 +1,68 @@
+// The high-performance sockets substrate under study.
+//
+// Applications (DataCutter, the visualization server, the benches) are
+// written once against SvSocket — blocking message send/receive, like the
+// sockets code the paper's applications used — and the transport underneath
+// is chosen at connect time: kernel TCP or SocketVIA. This mirrors the
+// paper's central premise: SocketVIA gives sockets applications VIA
+// performance *without any application change*.
+//
+// Two fidelity levels exist for each transport:
+//  - kFast: the staged cost model executed by net::Pipe (default for
+//    application experiments; protocol costs in closed form, contention and
+//    flow control executed).
+//  - kDetailed: the full protocol machinery — tcpstack (segments, ACKs,
+//    Nagle) or a SocketVIA implementation over the VIA provider library
+//    (descriptor pools, credit-based flow control, credit-update messages).
+// Tests assert the two levels agree on message timing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/calibration.h"
+#include "net/fabric.h"
+
+namespace sv::sockets {
+
+enum class Fidelity { kFast, kDetailed };
+
+struct SocketStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// A connected, bidirectional, message-oriented blocking socket endpoint.
+class SvSocket {
+ public:
+  virtual ~SvSocket() = default;
+
+  /// Blocking send; returns when the message is accepted by the transport
+  /// (flow control may block the caller). Must run inside a simulated
+  /// process on the socket's node.
+  virtual void send(net::Message m) = 0;
+
+  /// Blocking receive; nullopt after the peer closed and all data drained.
+  virtual std::optional<net::Message> recv() = 0;
+  /// Non-blocking receive.
+  virtual std::optional<net::Message> try_recv() = 0;
+
+  /// Half-close: no further sends from this side; peer sees end-of-stream.
+  virtual void close_send() = 0;
+
+  [[nodiscard]] virtual net::Transport transport() const = 0;
+  [[nodiscard]] virtual net::Node& local_node() const = 0;
+  [[nodiscard]] const SocketStats& stats() const { return stats_; }
+
+ protected:
+  SocketStats stats_;
+};
+
+using SocketPair =
+    std::pair<std::unique_ptr<SvSocket>, std::unique_ptr<SvSocket>>;
+
+}  // namespace sv::sockets

@@ -1,0 +1,81 @@
+#include "sockets/tcp_socket.h"
+
+#include <limits>
+
+namespace sv::sockets {
+namespace {
+
+/// Sentinel meta entry marking the sender's half-close.
+bool is_eof_marker(const net::Message& m) {
+  return m.bytes == std::numeric_limits<std::uint64_t>::max();
+}
+
+net::Message eof_marker() {
+  net::Message m;
+  m.bytes = std::numeric_limits<std::uint64_t>::max();
+  return m;
+}
+
+}  // namespace
+
+SocketPair DetailedTcpSocket::make_pair(tcpstack::TcpStack& a,
+                                        tcpstack::TcpStack& b,
+                                        tcpstack::TcpOptions options) {
+  auto [ca, cb] = tcpstack::TcpStack::connect(a, b, options);
+  auto dir_ab = std::make_shared<Direction>(&a.sim());
+  auto dir_ba = std::make_shared<Direction>(&a.sim());
+  std::unique_ptr<SvSocket> sa(new DetailedTcpSocket(ca, dir_ab, dir_ba));
+  std::unique_ptr<SvSocket> sb(new DetailedTcpSocket(cb, dir_ba, dir_ab));
+  return {std::move(sa), std::move(sb)};
+}
+
+net::Node& DetailedTcpSocket::local_node() const {
+  return conn_->stack().node();
+}
+
+void DetailedTcpSocket::send(net::Message m) {
+  stats_.messages_sent++;
+  stats_.bytes_sent += m.bytes;
+  m.sent_at = conn_->stack().sim().now();
+  const std::uint64_t frame = kHeaderBytes + m.bytes;
+  // Metadata rides an in-order side queue; the frame bytes go through the
+  // full TCP machinery. Single writer per socket assumed (as in DataCutter).
+  outgoing_->metas.push_back(std::move(m));
+  outgoing_->meta_available.notify_all();
+  conn_->send(frame);
+}
+
+std::optional<net::Message> DetailedTcpSocket::recv() {
+  while (incoming_->metas.empty()) {
+    incoming_->meta_available.wait();
+  }
+  if (is_eof_marker(incoming_->metas.front())) {
+    peer_closed_ = true;
+    return std::nullopt;
+  }
+  net::Message m = std::move(incoming_->metas.front());
+  incoming_->metas.pop_front();
+  conn_->recv_exact(kHeaderBytes + m.bytes);
+  m.delivered_at = conn_->stack().sim().now();
+  stats_.messages_received++;
+  stats_.bytes_received += m.bytes;
+  return m;
+}
+
+std::optional<net::Message> DetailedTcpSocket::try_recv() {
+  if (incoming_->metas.empty()) return std::nullopt;
+  if (is_eof_marker(incoming_->metas.front())) return std::nullopt;
+  const net::Message& front = incoming_->metas.front();
+  if (conn_->recv_buffered() < kHeaderBytes + front.bytes) {
+    return std::nullopt;  // frame not fully buffered yet
+  }
+  return recv();
+}
+
+void DetailedTcpSocket::close_send() {
+  outgoing_->metas.push_back(eof_marker());
+  outgoing_->meta_available.notify_all();
+  conn_->close();
+}
+
+}  // namespace sv::sockets

@@ -1,0 +1,218 @@
+#include "sockets/via_socket.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sv::sockets {
+
+DetailedViaSocket::Side::Side(sim::Simulation* sim, int index)
+    : credit_wait(sim, "via_sock.credits." + std::to_string(index)),
+      delivered(sim, 0, "via_sock.delivered." + std::to_string(index)) {}
+
+DetailedViaSocket::~DetailedViaSocket() = default;
+
+SocketPair DetailedViaSocket::make_pair(via::Nic& a, via::Nic& b,
+                                        ViaSocketOptions options) {
+  if (options.credits == 0 || options.credit_batch == 0 ||
+      options.credit_batch > options.credits) {
+    throw std::invalid_argument(
+        "ViaSocketOptions: need credits >= credit_batch >= 1");
+  }
+  auto state = std::make_shared<PairState>(&a.sim(), options);
+  auto va = a.create_vi();
+  auto vb = b.create_vi();
+  via::Nic::connect(*va, *vb);
+  state->setup_side(0, a, std::move(va));
+  state->setup_side(1, b, std::move(vb));
+  for (int i = 0; i < 2; ++i) {
+    a.sim().spawn(
+        "via_sock.demux" + std::to_string(i) + ".node" +
+            std::to_string(state->sides[static_cast<std::size_t>(i)]
+                               .nic->node()
+                               .id()),
+        [state, i] { state->demux_loop(i); });
+  }
+  std::unique_ptr<SvSocket> sa(new DetailedViaSocket(state, 0));
+  std::unique_ptr<SvSocket> sb(new DetailedViaSocket(state, 1));
+  return {std::move(sa), std::move(sb)};
+}
+
+void DetailedViaSocket::PairState::setup_side(int i, via::Nic& nic,
+                                              std::shared_ptr<via::Vi> vi) {
+  Side& s = sides[static_cast<std::size_t>(i)];
+  s.nic = &nic;
+  s.vi = std::move(vi);
+  s.credits = options.credits;
+  // Control slack: credit updates and EOF do not spend data credits, so the
+  // pool holds extra descriptors for them.
+  const std::uint32_t control_slack =
+      options.credits / options.credit_batch + 2;
+  s.send_region = nic.register_memory(options.chunk_bytes);
+  s.recv_pool = nic.register_memory(options.chunk_bytes);
+  for (std::uint32_t k = 0; k < options.credits + control_slack; ++k) {
+    post_one_recv(i);
+  }
+}
+
+void DetailedViaSocket::PairState::post_one_recv(int i) {
+  Side& s = sides[static_cast<std::size_t>(i)];
+  via::Descriptor d;
+  d.region = s.recv_pool;
+  d.offset = 0;
+  d.length = options.chunk_bytes;
+  s.vi->post_recv(std::move(d));
+}
+
+void DetailedViaSocket::PairState::send_control(int i, Kind kind,
+                                                std::uint32_t value) {
+  Side& s = sides[static_cast<std::size_t>(i)];
+  via::Descriptor d;
+  d.region = s.send_region;
+  d.length = 0;
+  d.immediate = (static_cast<std::uint32_t>(kind) << kKindShift) |
+                (value & kValueMask);
+  s.vi->post_send(std::move(d));
+  while (s.vi->send_cq().poll()) {
+  }
+}
+
+void DetailedViaSocket::PairState::demux_loop(int i) {
+  Side& me = sides[static_cast<std::size_t>(i)];
+  Side& peer = sides[static_cast<std::size_t>(1 - i)];
+  while (true) {
+    via::Completion c = me.vi->recv_cq().wait();
+    if (c.status != via::Status::kSuccess) {
+      throw std::logic_error("SocketVIA: unexpected VIA receive error: " +
+                             std::string(via::status_name(c.status)));
+    }
+    // Immediately re-post the consumed descriptor to keep the pool full —
+    // the invariant that makes credit-gated sends always land.
+    post_one_recv(i);
+    const auto kind = static_cast<Kind>(c.immediate >> kKindShift);
+    const std::uint32_t value = c.immediate & kValueMask;
+    switch (kind) {
+      case kCredit:
+        // Credits returned for data *this side* previously sent.
+        me.credits += value;
+        me.credit_wait.notify_all();
+        break;
+      case kEof:
+        if (!me.delivered.closed()) me.delivered.close();
+        break;
+      case kFirst:
+        me.pending_chunks = value;
+        [[fallthrough]];
+      case kCont: {
+        --me.pending_chunks;
+        // Receiver-side socket bookkeeping delta over raw VIA.
+        sim->delay(SimTime::nanoseconds(100));
+        ++me.consumed_since_credit;
+        if (me.pending_chunks == 0) {
+          // The message is complete; metadata comes from the peer's side
+          // queue, in order.
+          sim->delay(SimTime::nanoseconds(250));
+          if (peer.outgoing_meta.empty()) {
+            throw std::logic_error("SocketVIA: data chunk without metadata");
+          }
+          net::Message m = std::move(peer.outgoing_meta.front());
+          peer.outgoing_meta.pop_front();
+          m.delivered_at = sim->now();
+          if (!me.delivered.closed()) {
+            me.delivered.send(std::move(m));
+          }
+        }
+        if (me.consumed_since_credit >= options.credit_batch) {
+          send_control(i, kCredit, me.consumed_since_credit);
+          ++me.credit_updates_sent;
+          me.consumed_since_credit = 0;
+        }
+        break;
+      }
+    }
+  }
+}
+
+net::Node& DetailedViaSocket::local_node() const {
+  return mine().nic->node();
+}
+
+std::uint32_t DetailedViaSocket::available_credits() const {
+  return mine().credits;
+}
+
+std::uint64_t DetailedViaSocket::credit_updates_sent() const {
+  return mine().credit_updates_sent;
+}
+
+void DetailedViaSocket::send(net::Message m) {
+  Side& me = mine();
+  if (me.send_closed) {
+    throw std::logic_error("DetailedViaSocket::send after close");
+  }
+  stats_.messages_sent++;
+  stats_.bytes_sent += m.bytes;
+  m.sent_at = state_->sim->now();
+
+  const std::uint64_t chunk = state_->options.chunk_bytes;
+  const std::uint64_t nchunks =
+      std::max<std::uint64_t>(1, (m.bytes + chunk - 1) / chunk);
+  if (nchunks > kValueMask) {
+    throw std::invalid_argument("DetailedViaSocket::send: message too large");
+  }
+  // SocketVIA bookkeeping beyond raw VIA (buffer management, header build):
+  // the calibrated delta between the SocketVIA and VIA profiles.
+  state_->sim->delay(SimTime::nanoseconds(250));
+
+  const std::uint64_t total = m.bytes;
+  me.outgoing_meta.push_back(std::move(m));
+  std::uint64_t remaining = total;
+  for (std::uint64_t i = 0; i < nchunks; ++i) {
+    while (me.credits == 0) {
+      me.credit_wait.wait();
+    }
+    --me.credits;
+    const std::uint64_t len = std::min(remaining, chunk);
+    remaining -= len;
+    via::Descriptor d;
+    d.region = me.send_region;
+    d.offset = 0;
+    d.length = len;
+    d.immediate =
+        i == 0 ? ((kFirst << kKindShift) |
+                  (static_cast<std::uint32_t>(nchunks) & kValueMask))
+               : (kCont << kKindShift);
+    // Per-chunk socket-layer work (the per-segment calibration delta).
+    state_->sim->delay(SimTime::nanoseconds(100));
+    me.vi->post_send(std::move(d));
+    // Reap send completions opportunistically to keep the CQ shallow.
+    while (me.vi->send_cq().poll()) {
+    }
+  }
+}
+
+std::optional<net::Message> DetailedViaSocket::recv() {
+  auto m = mine().delivered.recv();
+  if (m) {
+    stats_.messages_received++;
+    stats_.bytes_received += m->bytes;
+  }
+  return m;
+}
+
+std::optional<net::Message> DetailedViaSocket::try_recv() {
+  auto m = mine().delivered.try_recv();
+  if (m) {
+    stats_.messages_received++;
+    stats_.bytes_received += m->bytes;
+  }
+  return m;
+}
+
+void DetailedViaSocket::close_send() {
+  Side& me = mine();
+  if (me.send_closed) return;
+  me.send_closed = true;
+  state_->send_control(side_, kEof, 0);
+}
+
+}  // namespace sv::sockets

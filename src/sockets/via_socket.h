@@ -1,0 +1,121 @@
+// SocketVIA, executed: the user-level sockets layer over the VIA provider.
+//
+// Implements the design of the paper's substrate (see also Balaji et al.,
+// OSU-CISRC-1/03-TR05): each endpoint pre-registers and pre-posts a pool of
+// receive buffers; senders chunk messages and spend *credits* (one per
+// posted peer buffer) so a VIA send never arrives without a matching
+// receive descriptor; receivers return credits in batched credit-update
+// messages on the same VI. Message boundaries and kinds ride the VIA
+// immediate data. EOF is an in-band control message.
+//
+// All data and control messages are real via::Vi descriptors, so flow
+// control, credit traffic, and completion handling all cost simulated time
+// through the calibrated VIA profile.
+//
+// Lifetime: the demux processes co-own the connection state, so socket
+// handles may be destroyed at any simulated time. The via::Nic objects and
+// the Simulation must outlive message flow.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/sync.h"
+#include "sockets/socket.h"
+#include "via/via.h"
+
+namespace sv::sockets {
+
+struct ViaSocketOptions {
+  /// Receive-pool chunk size; messages larger than this are chunked.
+  std::uint64_t chunk_bytes = 16 * 1024;
+  /// Number of data credits (posted peer buffers). Window = credits*chunk.
+  std::uint32_t credits = 8;
+  /// Return credits after this many chunks are consumed.
+  std::uint32_t credit_batch = 4;
+};
+
+class DetailedViaSocket final : public SvSocket {
+ public:
+  /// Builds a connected SocketVIA pair over two NICs. Registers and posts
+  /// the buffer pools (costs time when called inside a process).
+  static SocketPair make_pair(via::Nic& a, via::Nic& b,
+                              ViaSocketOptions options = {});
+  ~DetailedViaSocket() override;
+
+  void send(net::Message m) override;
+  std::optional<net::Message> recv() override;
+  std::optional<net::Message> try_recv() override;
+  void close_send() override;
+
+  [[nodiscard]] net::Transport transport() const override {
+    return net::Transport::kSocketVia;
+  }
+  [[nodiscard]] net::Node& local_node() const override;
+
+  /// Diagnostics for tests.
+  [[nodiscard]] std::uint32_t available_credits() const;
+  [[nodiscard]] std::uint64_t credit_updates_sent() const;
+
+ private:
+  // Immediate-data encoding: kind in the top 2 bits, value in the low 30.
+  enum Kind : std::uint32_t {
+    kFirst = 0,   // value = total chunk count of the message
+    kCont = 1,    // continuation chunk
+    kCredit = 2,  // value = credits returned
+    kEof = 3,     // sender half-closed
+  };
+  static constexpr std::uint32_t kKindShift = 30;
+  static constexpr std::uint32_t kValueMask = (1u << kKindShift) - 1;
+
+  /// Per-endpoint connection state, co-owned by the demux process.
+  struct Side {
+    Side(sim::Simulation* sim, int index);
+
+    via::Nic* nic = nullptr;
+    std::shared_ptr<via::Vi> vi;
+    std::shared_ptr<via::MemoryRegion> send_region;
+    std::shared_ptr<via::MemoryRegion> recv_pool;
+
+    // Sender state (this side sending to the peer).
+    std::deque<net::Message> outgoing_meta;
+    std::uint32_t credits = 0;
+    sim::WaitQueue credit_wait;
+    bool send_closed = false;
+
+    // Receiver state (this side receiving from the peer).
+    sim::Channel<net::Message> delivered;
+    std::uint64_t pending_chunks = 0;
+    std::uint32_t consumed_since_credit = 0;
+    std::uint64_t credit_updates_sent = 0;
+  };
+
+  struct PairState {
+    PairState(sim::Simulation* sim_in, ViaSocketOptions options_in)
+        : sim(sim_in), options(options_in), sides{Side(sim_in, 0),
+                                                  Side(sim_in, 1)} {}
+    sim::Simulation* sim;
+    ViaSocketOptions options;
+    std::array<Side, 2> sides;
+
+    void setup_side(int i, via::Nic& nic, std::shared_ptr<via::Vi> vi);
+    void post_one_recv(int i);
+    void send_control(int i, Kind kind, std::uint32_t value);
+    void demux_loop(int i);
+  };
+
+  DetailedViaSocket(std::shared_ptr<PairState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+
+  [[nodiscard]] Side& mine() const { return state_->sides[static_cast<std::size_t>(side_)]; }
+  [[nodiscard]] Side& theirs() const {
+    return state_->sides[static_cast<std::size_t>(1 - side_)];
+  }
+
+  std::shared_ptr<PairState> state_;
+  int side_;
+};
+
+}  // namespace sv::sockets

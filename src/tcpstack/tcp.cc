@@ -1,0 +1,254 @@
+#include "tcpstack/tcp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sv::tcpstack {
+
+TcpConnection::TcpConnection(TcpStack* stack, std::string name,
+                             TcpOptions options)
+    : stack_(stack),
+      name_(std::move(name)),
+      options_(options),
+      send_space_(&stack->sim(), name_ + ".sndbuf"),
+      tx_wake_(&stack->sim(), name_ + ".txwake"),
+      recv_wait_(&stack->sim(), name_ + ".rcvwait") {}
+
+std::uint64_t TcpConnection::peer_window_available() const {
+  const std::uint64_t used = peer_->recv_buf_bytes_ + inflight_bytes_;
+  if (used >= options_.recv_buffer) return 0;
+  return options_.recv_buffer - used;
+}
+
+void TcpConnection::send(std::uint64_t bytes) {
+  if (fin_queued_) {
+    throw std::logic_error("TcpConnection[" + name_ + "]::send after close");
+  }
+  // Syscall entry, then copy into the socket buffer incrementally as ACKs
+  // free space — like the kernel, so large writes overlap with transmission
+  // instead of degenerating to stop-and-wait.
+  stack_->node().tx_host().use(stack_->profile().send_fixed);
+  // Copy in bounded quanta so transmission of early bytes overlaps the
+  // copying of later ones (as the kernel's skb-at-a-time copy does).
+  const std::uint64_t quantum = std::uint64_t{2} * options_.mss;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    std::uint64_t used = unsent_bytes_ + inflight_bytes_;
+    while (used >= options_.send_buffer) {
+      send_space_.wait();
+      used = unsent_bytes_ + inflight_bytes_;
+    }
+    const std::uint64_t take =
+        std::min({remaining, options_.send_buffer - used, quantum});
+    stack_->node().tx_host().use(
+        stack_->profile().send_per_byte.for_bytes(take));
+    unsent_bytes_ += take;
+    bytes_sent_ += take;
+    remaining -= take;
+    tx_wake_.notify_all();
+    // Yield so the tx loop can interleave segment transmission with the
+    // next copy quantum on the shared host path.
+    stack_->sim().delay(SimTime::zero());
+  }
+}
+
+void TcpConnection::close() {
+  fin_queued_ = true;
+  tx_wake_.notify_all();
+}
+
+std::uint64_t TcpConnection::recv(std::uint64_t max) {
+  if (max == 0) return 0;
+  while (recv_buf_bytes_ == 0 && !fin_received_) {
+    recv_wait_.wait();
+  }
+  if (recv_buf_bytes_ == 0) return 0;  // clean end-of-stream
+  // Syscall cost charged once data is deliverable.
+  stack_->sim().delay(stack_->profile().recv_fixed);
+  const std::uint64_t take = std::min(max, recv_buf_bytes_);
+  recv_buf_bytes_ -= take;
+  // Window opened: the peer's tx loop may resume.
+  peer_->tx_wake_.notify_all();
+  return take;
+}
+
+std::uint64_t TcpConnection::recv_exact(std::uint64_t n) {
+  if (n == 0) return 0;
+  // One MSG_WAITALL syscall: a single fixed cost, then drain until n bytes.
+  bool charged = false;
+  std::uint64_t total = 0;
+  while (total < n) {
+    while (recv_buf_bytes_ == 0 && !fin_received_) {
+      recv_wait_.wait();
+    }
+    if (recv_buf_bytes_ == 0) break;  // EOF before n bytes
+    if (!charged) {
+      stack_->sim().delay(stack_->profile().recv_fixed);
+      charged = true;
+    }
+    const std::uint64_t take = std::min(n - total, recv_buf_bytes_);
+    recv_buf_bytes_ -= take;
+    total += take;
+    peer_->tx_wake_.notify_all();
+  }
+  return total;
+}
+
+void TcpConnection::tx_loop() {
+  const std::uint64_t mss = options_.mss;
+  while (true) {
+    if (unsent_bytes_ == 0) {
+      if (fin_queued_) break;
+      tx_wake_.wait();
+      continue;
+    }
+    const std::uint64_t window = peer_window_available();
+    if (window == 0) {
+      tx_wake_.wait();
+      continue;
+    }
+    std::uint64_t seg = std::min({mss, unsent_bytes_, window});
+    // Nagle: hold back a sub-MSS segment while data is in flight, unless
+    // this flushes the stream (close pending with nothing more coming).
+    if (options_.nagle && seg < mss && seg == unsent_bytes_ &&
+        inflight_bytes_ > 0 && !fin_queued_) {
+      tx_wake_.wait();
+      continue;
+    }
+    unsent_bytes_ -= seg;
+    inflight_bytes_ += seg;
+    ++segments_sent_;
+    const bool fin = fin_queued_ && unsent_bytes_ == 0;
+    if (fin) fin_sent_ = true;
+    // Piggyback any pending ACK for the reverse direction on this data
+    // segment (standard TCP behaviour; prevents the Nagle/delayed-ACK
+    // stall in request-response traffic).
+    std::uint64_t piggyback = 0;
+    if (unacked_segments_ > 0) {
+      piggyback = unacked_bytes_;
+      ++acks_sent_;
+      unacked_segments_ = 0;
+      unacked_bytes_ = 0;
+    }
+    stack_->transmit(TcpStack::Segment{this, seg, piggyback, fin});
+    if (fin) break;
+  }
+  if (fin_queued_ && !fin_sent_) {
+    fin_sent_ = true;
+    stack_->transmit(TcpStack::Segment{this, 0, 0, true});
+  }
+}
+
+void TcpConnection::on_segment(std::uint64_t bytes, bool fin) {
+  recv_buf_bytes_ += bytes;
+  bytes_received_ += bytes;
+  if (fin) fin_received_ = true;
+  recv_wait_.notify_all();
+  ++unacked_segments_;
+  unacked_bytes_ += bytes;
+  maybe_ack();
+}
+
+void TcpConnection::maybe_ack() {
+  if (!options_.delayed_ack || unacked_segments_ >= 2 || fin_received_) {
+    send_ack_now();
+    return;
+  }
+  if (!ack_timer_armed_) {
+    ack_timer_armed_ = true;
+    stack_->sim().schedule(options_.delayed_ack_timeout, [this] {
+      ack_timer_armed_ = false;
+      if (unacked_segments_ > 0) send_ack_now();
+    });
+  }
+}
+
+void TcpConnection::send_ack_now() {
+  // Pure ACKs bypass the socket buffer; enqueue straight to the wire (the
+  // kernel generates them in interrupt context). wire_out_ is unbounded, so
+  // this is safe from both process and event contexts.
+  stack_->wire_out_.send(TcpStack::Segment{this, 0, unacked_bytes_, false});
+  ++acks_sent_;
+  unacked_segments_ = 0;
+  unacked_bytes_ = 0;
+}
+
+void TcpConnection::on_ack(std::uint64_t acked_bytes) {
+  inflight_bytes_ -= std::min(inflight_bytes_, acked_bytes);
+  send_space_.notify_all();
+  tx_wake_.notify_all();
+}
+
+TcpStack::TcpStack(sim::Simulation* sim, net::Node* node,
+                   net::CalibrationProfile profile)
+    : sim_(sim),
+      node_(node),
+      profile_(std::move(profile)),
+      model_(profile_),
+      wire_out_(sim, 0, node->name() + ".tcp_wire"),
+      rx_queue_(sim, 0, node->name() + ".tcp_rx") {
+  sim_->spawn(node->name() + ".tcp_wire_engine", [this] {
+    while (auto seg = wire_out_.recv()) {
+      TcpStack* dest = seg->sender->peer_->stack_;
+      // Data segments occupy the inbound link for payload + headers; pure
+      // ACKs cost one header's worth.
+      dest->node_->link_in().use(model_.wire_time(seg->bytes));
+      auto shared = std::make_shared<Segment>(*seg);
+      sim_->schedule(profile_.propagation, [dest, shared] {
+        dest->rx_queue_.send(*shared);
+      });
+    }
+  });
+  sim_->spawn(node->name() + ".tcp_rx_engine", [this] { rx_loop(); });
+}
+
+TcpStack::~TcpStack() {
+  wire_out_.close();
+  rx_queue_.close();
+}
+
+void TcpStack::transmit(Segment seg) {
+  // Per-segment kernel TX work (header build, checksum, queueing).
+  node_->tx_host().use(profile_.send_per_seg);
+  wire_out_.send(seg);
+}
+
+void TcpStack::rx_loop() {
+  while (auto seg = rx_queue_.recv()) {
+    TcpConnection* receiver = seg->sender->peer_;
+    if (seg->bytes > 0 || seg->fin) {
+      // Interrupt + TCP/IP input + checksum + copy to the socket buffer.
+      node_->rx_proto().use(profile_.recv_per_seg +
+                            profile_.recv_per_byte.for_bytes(seg->bytes));
+      receiver->on_segment(seg->bytes, seg->fin);
+    }
+    if (seg->ack > 0) {
+      // ACK processing is cheap but not free.
+      node_->rx_proto().use(SimTime::microseconds(1));
+      receiver->on_ack(seg->ack);
+    }
+  }
+}
+
+std::pair<std::shared_ptr<TcpConnection>, std::shared_ptr<TcpConnection>>
+TcpStack::connect(TcpStack& client, TcpStack& server, TcpOptions options) {
+  // Three-way handshake: 1.5 RTT of small-message exchanges charged to the
+  // connecting process.
+  if (client.sim_->current() != nullptr) {
+    client.sim_->delay(client.model_.one_way(0) * 3);
+  }
+  const auto id = client.next_conn_id_++;
+  auto c = std::make_shared<TcpConnection>(
+      &client, client.node_->name() + ".tcp" + std::to_string(id), options);
+  auto s = std::make_shared<TcpConnection>(
+      &server, server.node_->name() + ".tcp" + std::to_string(id), options);
+  c->peer_ = s.get();
+  s->peer_ = c.get();
+  client.connections_.push_back(c);
+  server.connections_.push_back(s);
+  client.sim_->spawn(c->name() + ".tx", [conn = c.get()] { conn->tx_loop(); });
+  server.sim_->spawn(s->name() + ".tx", [conn = s.get()] { conn->tx_loop(); });
+  return {c, s};
+}
+
+}  // namespace sv::tcpstack

@@ -1,0 +1,169 @@
+// A simplified in-simulator kernel TCP: the "traditional sockets" baseline.
+//
+// Executed machinery: MSS segmentation, sliding-window flow control against
+// the receiver's buffer, cumulative ACKs with delayed-ACK (ack every 2nd
+// segment or after a timeout), Nagle's algorithm, blocking send/recv with
+// socket buffers, and FIN/close sequencing. Per-segment and per-syscall
+// costs come from the calibrated kernel-TCP profile; segments occupy the
+// same per-node tx/link/rx resources as every other transport, so TCP
+// contends realistically with itself and with VIA traffic.
+//
+// Deliberate simplifications (documented in DESIGN.md): the fabric is
+// loss-free and in-order, so retransmission and congestion control are not
+// modeled (the paper's cLAN/FastEthernet LAN showed no loss either);
+// receive-window state is read directly rather than carried in ACK headers
+// (window *timing* effects are still modeled via the ACK-gated send buffer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/calibration.h"
+#include "net/cluster.h"
+#include "net/cost_model.h"
+#include "sim/sync.h"
+
+namespace sv::tcpstack {
+
+struct TcpOptions {
+  std::uint32_t mss = 1460;
+  std::uint64_t send_buffer = 64 * 1024;
+  std::uint64_t recv_buffer = 64 * 1024;
+  bool nagle = true;
+  bool delayed_ack = true;
+  /// Delayed-ACK flush timeout (Linux-era default ~40 ms is far above any
+  /// latency this paper studies; 200 us keeps it visible but realistic for
+  /// a LAN benchmark kernel).
+  SimTime delayed_ack_timeout = SimTime::microseconds(200);
+};
+
+class TcpStack;
+
+/// One endpoint of an established connection. Byte-stream semantics.
+class TcpConnection {
+ public:
+  TcpConnection(TcpStack* stack, std::string name, TcpOptions options);
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Blocking send of `bytes` (copied into the socket buffer; blocks while
+  /// the buffer is full). Returns when all bytes are buffered.
+  void send(std::uint64_t bytes);
+
+  /// Blocking receive: returns 1..max bytes, or 0 at end-of-stream.
+  std::uint64_t recv(std::uint64_t max);
+
+  /// MSG_WAITALL-style receive: blocks until exactly `n` bytes are drained
+  /// (or end-of-stream; returns bytes actually read).
+  std::uint64_t recv_exact(std::uint64_t n);
+
+  /// Half-closes the sending direction (FIN after all queued data).
+  void close();
+
+  [[nodiscard]] bool send_closed() const { return fin_queued_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return bytes_received_;
+  }
+  [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] const TcpOptions& options() const { return options_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TcpStack& stack() const { return *stack_; }
+  /// Bytes currently buffered and readable without blocking.
+  [[nodiscard]] std::uint64_t recv_buffered() const { return recv_buf_bytes_; }
+  [[nodiscard]] bool eof_received() const { return fin_received_; }
+
+ private:
+  friend class TcpStack;
+
+  void tx_loop();
+  /// Receiver side: deliver segment payload bytes into the receive buffer.
+  void on_segment(std::uint64_t bytes, bool fin);
+  /// Sender side: cumulative ACK freeing socket-buffer space.
+  void on_ack(std::uint64_t acked_bytes);
+  void send_ack_now();
+  void maybe_ack();
+  [[nodiscard]] std::uint64_t peer_window_available() const;
+
+  TcpStack* stack_;
+  std::string name_;
+  TcpOptions options_;
+  TcpConnection* peer_ = nullptr;
+
+  // --- send side ---
+  std::uint64_t unsent_bytes_ = 0;    // buffered, not yet segmented
+  std::uint64_t inflight_bytes_ = 0;  // segmented, not yet ACKed
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+  sim::WaitQueue send_space_;  // senders blocked on a full socket buffer
+  sim::WaitQueue tx_wake_;     // tx loop wakeups (data/ack/window)
+
+  // --- receive side ---
+  std::uint64_t recv_buf_bytes_ = 0;
+  bool fin_received_ = false;
+  std::uint64_t unacked_segments_ = 0;
+  std::uint64_t unacked_bytes_ = 0;
+  bool ack_timer_armed_ = false;
+  sim::WaitQueue recv_wait_;
+
+  // --- stats ---
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t acks_sent_ = 0;
+};
+
+/// The per-node kernel TCP instance.
+class TcpStack {
+ public:
+  TcpStack(sim::Simulation* sim, net::Node* node,
+           net::CalibrationProfile profile =
+               net::CalibrationProfile::kernel_tcp());
+  ~TcpStack();
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  /// Establishes a connection between two stacks (three-way handshake cost
+  /// charged to the caller, who must be a simulated process). Returns the
+  /// (client_endpoint, server_endpoint) pair.
+  static std::pair<std::shared_ptr<TcpConnection>,
+                   std::shared_ptr<TcpConnection>>
+  connect(TcpStack& client, TcpStack& server, TcpOptions options = {});
+
+  [[nodiscard]] sim::Simulation& sim() { return *sim_; }
+  [[nodiscard]] net::Node& node() { return *node_; }
+  [[nodiscard]] const net::CostModel& model() const { return model_; }
+  [[nodiscard]] const net::CalibrationProfile& profile() const {
+    return profile_;
+  }
+
+ private:
+  friend class TcpConnection;
+
+  struct Segment {
+    TcpConnection* sender;  // sending endpoint
+    std::uint64_t bytes;    // payload bytes (0 for pure ACK)
+    std::uint64_t ack;      // cumulative ack field (bytes being acked)
+    bool fin = false;
+  };
+
+  /// Transmits one segment from `conn` (charges tx_host + wire + rx path).
+  void transmit(Segment seg);
+  void rx_loop();
+
+  sim::Simulation* sim_;
+  net::Node* node_;
+  net::CalibrationProfile profile_;
+  net::CostModel model_;
+  sim::Channel<Segment> wire_out_;
+  sim::Channel<Segment> rx_queue_;
+  std::vector<std::shared_ptr<TcpConnection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+};
+
+}  // namespace sv::tcpstack

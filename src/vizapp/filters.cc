@@ -1,0 +1,58 @@
+#include "vizapp/filters.h"
+
+#include <any>
+
+namespace sv::viz {
+
+void RepoFilter::process(dc::FilterContext& ctx) {
+  const auto& query = std::any_cast<const Query&>(ctx.uow().work);
+  for (auto block : plan_query(image_, query)) {
+    if (block % copies_ != ctx.copy_index()) continue;  // not ours
+    const std::uint64_t bytes = image_.block_size(block);
+    if (io_cost_ != PerByteCost::zero()) {
+      ctx.compute(io_cost_.for_bytes(bytes));
+    }
+    dc::DataBuffer b;
+    b.bytes = bytes;
+    b.tag = block;
+    if (materialize_) {
+      auto payload = std::make_shared<std::vector<std::byte>>(bytes);
+      for (std::uint64_t j = 0; j < bytes; ++j) {
+        (*payload)[j] = pixel(block, j);
+      }
+      b.payload = std::move(payload);
+    }
+    ctx.write(std::move(b));
+  }
+}
+
+void StageFilter::process(dc::FilterContext& ctx) {
+  while (auto b = ctx.read()) {
+    if (compute_ != PerByteCost::zero()) {
+      ctx.compute(compute_.for_bytes(b->bytes));
+    }
+    ctx.write(std::move(*b));
+  }
+}
+
+void VizFilter::process(dc::FilterContext& ctx) {
+  while (auto b = ctx.read()) {
+    if (compute_ != PerByteCost::zero()) {
+      ctx.compute(compute_.for_bytes(b->bytes));
+    }
+    if (b->payload) {
+      ++payloads_verified_;
+      const auto& data = *b->payload;
+      for (std::uint64_t j = 0; j < data.size(); ++j) {
+        if (data[j] != RepoFilter::pixel(b->tag, j)) {
+          ++payload_mismatches_;
+          break;
+        }
+      }
+    }
+    bytes_drawn_ += b->bytes;
+    ++buffers_drawn_;
+  }
+}
+
+}  // namespace sv::viz

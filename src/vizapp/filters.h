@@ -1,0 +1,81 @@
+// The visualization pipeline's filters (Figure 5): data repositories
+// feeding processing stages feeding a single visualization server.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "datacutter/filter.h"
+#include "vizapp/image.h"
+#include "vizapp/query.h"
+
+namespace sv::viz {
+
+/// Source: each transparent copy owns the blocks with
+/// `block_id % copies == copy_index` (declustered storage for parallel
+/// I/O) and emits the owned blocks of each query.
+class RepoFilter : public dc::Filter {
+ public:
+  RepoFilter(BlockedImage image, std::size_t copies,
+             PerByteCost io_cost = PerByteCost::zero(),
+             bool materialize_payloads = false)
+      : image_(image),
+        copies_(copies),
+        io_cost_(io_cost),
+        materialize_(materialize_payloads) {}
+
+  void process(dc::FilterContext& ctx) override;
+
+  /// Deterministic pixel value for byte `offset` of block `block` (used to
+  /// generate and to verify real payloads).
+  static std::byte pixel(std::uint64_t block, std::uint64_t offset) {
+    return static_cast<std::byte>((block * 167 + offset * 13 + 7) & 0xff);
+  }
+
+ private:
+  BlockedImage image_;
+  std::size_t copies_;
+  PerByteCost io_cost_;
+  bool materialize_;
+};
+
+/// Intermediate processing stage (Clipping / Subsampling in the paper's
+/// Virtual Microscope): charges a linear per-byte computation and forwards.
+class StageFilter : public dc::Filter {
+ public:
+  explicit StageFilter(PerByteCost compute) : compute_(compute) {}
+
+  void process(dc::FilterContext& ctx) override;
+
+ private:
+  PerByteCost compute_;
+};
+
+/// Sink: the visualization server. Charges the viewing computation per
+/// byte; the runtime emits a UOW completion when the whole query is drawn.
+class VizFilter : public dc::Filter {
+ public:
+  explicit VizFilter(PerByteCost compute) : compute_(compute) {}
+
+  void process(dc::FilterContext& ctx) override;
+
+  [[nodiscard]] std::uint64_t bytes_drawn() const { return bytes_drawn_; }
+  [[nodiscard]] std::uint64_t buffers_drawn() const { return buffers_drawn_; }
+  /// Count of payload-carrying buffers whose bytes did NOT match the
+  /// deterministic pattern (end-to-end integrity check; 0 when healthy).
+  [[nodiscard]] std::uint64_t payload_mismatches() const {
+    return payload_mismatches_;
+  }
+  [[nodiscard]] std::uint64_t payloads_verified() const {
+    return payloads_verified_;
+  }
+
+ private:
+  PerByteCost compute_;
+  std::uint64_t bytes_drawn_ = 0;
+  std::uint64_t buffers_drawn_ = 0;
+  std::uint64_t payload_mismatches_ = 0;
+  std::uint64_t payloads_verified_ = 0;
+};
+
+}  // namespace sv::viz

@@ -1,0 +1,131 @@
+// The blocked image store of the digitized-microscopy server.
+//
+// A dataset (one slide image, 16 MB in the paper's experiments) is stored
+// as fixed-size chunks — the "distribution block size". Queries fetch whole
+// blocks even when only part of a block is needed (Figure 1), which is the
+// tradeoff the paper's experiments revolve around.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace sv::viz {
+
+class BlockedImage {
+ public:
+  BlockedImage(std::uint64_t total_bytes, std::uint64_t block_bytes)
+      : total_bytes_(total_bytes), block_bytes_(block_bytes) {
+    if (total_bytes == 0 || block_bytes == 0) {
+      throw std::invalid_argument("BlockedImage: sizes must be positive");
+    }
+    block_count_ = (total_bytes + block_bytes - 1) / block_bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t block_bytes() const { return block_bytes_; }
+  [[nodiscard]] std::uint64_t block_count() const { return block_count_; }
+
+  /// Size of block `i` (the final block may be partial).
+  [[nodiscard]] std::uint64_t block_size(std::uint64_t i) const {
+    if (i >= block_count_) {
+      throw std::out_of_range("BlockedImage: block index out of range");
+    }
+    if (i + 1 == block_count_) {
+      const std::uint64_t rem = total_bytes_ % block_bytes_;
+      return rem == 0 ? block_bytes_ : rem;
+    }
+    return block_bytes_;
+  }
+
+  /// Block ids covering the byte range [offset, offset+len).
+  [[nodiscard]] std::vector<std::uint64_t> blocks_for_range(
+      std::uint64_t offset, std::uint64_t len) const {
+    if (offset >= total_bytes_ || len == 0) return {};
+    const std::uint64_t end = std::min(offset + len, total_bytes_);
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t b = offset / block_bytes_;
+         b * block_bytes_ < end && b < block_count_; ++b) {
+      ids.push_back(b);
+    }
+    return ids;
+  }
+
+ private:
+  std::uint64_t total_bytes_;
+  std::uint64_t block_bytes_;
+  std::uint64_t block_count_;
+};
+
+/// 2D view of a blocked image (for the examples and partial-update
+/// geometry): W x H pixels at 1 byte/pixel, blocks arranged in a grid.
+class GridImage {
+ public:
+  GridImage(std::uint32_t width, std::uint32_t height,
+            std::uint32_t block_width, std::uint32_t block_height)
+      : width_(width),
+        height_(height),
+        block_w_(block_width),
+        block_h_(block_height) {
+    if (!width || !height || !block_width || !block_height) {
+      throw std::invalid_argument("GridImage: sizes must be positive");
+    }
+    cols_ = (width + block_width - 1) / block_width;
+    rows_ = (height + block_height - 1) / block_height;
+  }
+
+  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint64_t block_count() const {
+    return std::uint64_t{cols_} * rows_;
+  }
+  [[nodiscard]] std::uint64_t block_bytes() const {
+    return std::uint64_t{block_w_} * block_h_;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return std::uint64_t{width_} * height_;
+  }
+
+  /// Blocks intersecting the viewport rectangle [x, x+w) x [y, y+h)
+  /// (Figure 1: a partial query touches every block it overlaps).
+  [[nodiscard]] std::vector<std::uint64_t> blocks_for_viewport(
+      std::uint32_t x, std::uint32_t y, std::uint32_t w,
+      std::uint32_t h) const {
+    std::vector<std::uint64_t> ids;
+    if (w == 0 || h == 0 || x >= width_ || y >= height_) return ids;
+    const std::uint32_t x2 = std::min(width_, x + w);
+    const std::uint32_t y2 = std::min(height_, y + h);
+    for (std::uint32_t r = y / block_h_; r * block_h_ < y2 && r < rows_; ++r) {
+      for (std::uint32_t c = x / block_w_; c * block_w_ < x2 && c < cols_;
+           ++c) {
+        ids.push_back(std::uint64_t{r} * cols_ + c);
+      }
+    }
+    return ids;
+  }
+
+  /// Bytes fetched vs bytes actually needed for a viewport — the waste the
+  /// paper attributes to large blocks under partial queries.
+  [[nodiscard]] double overfetch_ratio(std::uint32_t x, std::uint32_t y,
+                                       std::uint32_t w,
+                                       std::uint32_t h) const {
+    const auto ids = blocks_for_viewport(x, y, w, h);
+    const std::uint32_t x2 = std::min(width_, x + w);
+    const std::uint32_t y2 = std::min(height_, y + h);
+    const std::uint64_t needed =
+        std::uint64_t{x2 - std::min(x, x2)} * (y2 - std::min(y, y2));
+    if (needed == 0) return 0.0;
+    return static_cast<double>(ids.size() * block_bytes()) /
+           static_cast<double>(needed);
+  }
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t height_;
+  std::uint32_t block_w_;
+  std::uint32_t block_h_;
+  std::uint32_t cols_ = 0;
+  std::uint32_t rows_ = 0;
+};
+
+}  // namespace sv::viz

@@ -1,0 +1,114 @@
+#include "vizapp/policy.h"
+
+#include <algorithm>
+
+namespace sv::viz {
+
+double receiver_capacity_bps(const net::CostModel& model, std::uint64_t block,
+                             SimTime per_message_overhead) {
+  if (block == 0) return 0.0;
+  const SimTime per_msg = std::max(
+      model.wire_time(block), model.recv_time(block) + per_message_overhead);
+  if (per_msg.ns() <= 0) return 0.0;
+  return static_cast<double>(block) * 1e9 /
+         static_cast<double>(per_msg.ns());
+}
+
+std::uint64_t min_block_for_receiver_rate(const net::CostModel& model,
+                                          double required_bytes_per_sec,
+                                          std::uint64_t limit,
+                                          SimTime per_message_overhead) {
+  if (receiver_capacity_bps(model, limit, per_message_overhead) <
+      required_bytes_per_sec) {
+    return limit;
+  }
+  std::uint64_t lo = 1, hi = limit;
+  // Capacity is monotone non-decreasing in block size (fixed per-message
+  // costs amortize) up to integer-rounding noise.
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (receiver_capacity_bps(model, mid, per_message_overhead) >=
+        required_bytes_per_sec) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t block_for_update_rate(const net::CostModel& model,
+                                    double updates_per_sec,
+                                    std::uint64_t image_bytes,
+                                    double headroom,
+                                    std::uint64_t min_block) {
+  const double required =
+      updates_per_sec * static_cast<double>(image_bytes) * headroom;
+  const std::uint64_t block =
+      min_block_for_receiver_rate(model, required, image_bytes);
+  return std::clamp<std::uint64_t>(block, std::min(min_block, image_bytes),
+                                   image_bytes);
+}
+
+std::uint64_t block_for_update_rate_with_compute(const net::CostModel& model,
+                                                 double updates_per_sec,
+                                                 std::uint64_t image_bytes,
+                                                 PerByteCost compute,
+                                                 double headroom,
+                                                 std::uint64_t min_block) {
+  const std::uint64_t bw_block = block_for_update_rate(
+      model, updates_per_sec, image_bytes, headroom, min_block);
+  if (bw_block >= image_bytes || compute == PerByteCost::zero()) {
+    return bw_block;
+  }
+  // Single-threaded sink budget per update: 1/U seconds must cover the
+  // whole image's computation plus per-buffer handling. Headroom applies
+  // to contended resources (the transport), not to the deterministic
+  // computation itself.
+  const double budget_ns = 1e9 / updates_per_sec;
+  const double compute_ns =
+      static_cast<double>(compute.for_bytes(image_bytes).ns());
+  if (compute_ns >= budget_ns) return image_bytes;  // compute-infeasible
+  const double per_buffer_ns =
+      static_cast<double>((model.sender_time(16) + kRuntimePerBuffer).ns());
+  const double max_buffers = (budget_ns - compute_ns) / per_buffer_ns;
+  if (max_buffers < 1.0) return image_bytes;
+  const auto handling_block = static_cast<std::uint64_t>(
+      static_cast<double>(image_bytes) / max_buffers);
+  return std::min<std::uint64_t>(std::max(bw_block, handling_block),
+                                 image_bytes);
+}
+
+SimTime default_hop_overhead(const net::CostModel& model) {
+  // DD acknowledgment send + runtime dispatch on both sides. The
+  // end-of-work marker exchange mostly overlaps the data chunk's own path
+  // (it pipelines immediately behind it), so it is not budgeted serially.
+  return model.sender_time(16) + 2 * kRuntimePerBuffer;
+}
+
+std::uint64_t block_for_latency_bound(const net::CostModel& model,
+                                      SimTime bound, int pipeline_hops,
+                                      SimTime per_hop_overhead,
+                                      PerByteCost compute,
+                                      std::uint64_t min_block) {
+  const SimTime fixed = per_hop_overhead * pipeline_hops;
+  if (fixed >= bound) return 0;
+  const SimTime per_hop_budget = (bound - fixed) / pipeline_hops;
+  auto hop_time = [&](std::uint64_t b) {
+    return model.one_way(b) + compute.for_bytes(b);
+  };
+  if (hop_time(min_block) > per_hop_budget) return 0;
+  std::uint64_t lo = min_block, hi = min_block;
+  while (hop_time(hi) <= per_hop_budget && hi < (1ULL << 40)) hi *= 2;
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (hop_time(mid) <= per_hop_budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sv::viz

@@ -1,0 +1,81 @@
+// Data-repartitioning ("DR") policies: choosing the distribution block size
+// from the transport's calibrated characteristics.
+//
+// This is the paper's central mechanism: a substrate with different
+// latency/bandwidth characteristics admits a different (smaller) block
+// size for the same bandwidth requirement (Figure 2), which in turn cuts
+// partial-update latency and enables finer-grained load balancing.
+#pragma once
+
+#include <cstdint>
+
+#include "net/cost_model.h"
+
+namespace sv::viz {
+
+/// Per-buffer runtime cost outside the transport itself (DataCutter's
+/// read-side handling plus scheduling acknowledgment), used when sizing
+/// blocks so the policy does not pick degenerate sub-KB chunks.
+inline constexpr SimTime kRuntimePerBuffer = SimTime::microseconds(2);
+
+/// Sustainable aggregate receive rate (bytes/sec) at a single node fed by
+/// multiple streams of `block`-byte messages: the inbound link and the
+/// receive-protocol path (plus `per_message_overhead` of runtime handling)
+/// are each serially shared, so the tighter of the two bounds aggregate
+/// throughput.
+[[nodiscard]] double receiver_capacity_bps(
+    const net::CostModel& model, std::uint64_t block,
+    SimTime per_message_overhead = kRuntimePerBuffer);
+
+/// Smallest block size whose receiver capacity reaches
+/// `required_bytes_per_sec`; returns `limit` when unreachable (the
+/// transport cannot sustain the rate at any block size).
+[[nodiscard]] std::uint64_t min_block_for_receiver_rate(
+    const net::CostModel& model, double required_bytes_per_sec,
+    std::uint64_t limit, SimTime per_message_overhead = kRuntimePerBuffer);
+
+/// The paper's update-rate guarantee policy: block size for sustaining
+/// `updates_per_sec` complete updates of `image_bytes` into one
+/// visualization node. `headroom` covers marker/ack/probe traffic; the
+/// result is floored at `min_block` (no sub-KB chunking in practice).
+/// Returns `image_bytes` (one giant block) when the rate is unreachable.
+[[nodiscard]] std::uint64_t block_for_update_rate(const net::CostModel& model,
+                                                  double updates_per_sec,
+                                                  std::uint64_t image_bytes,
+                                                  double headroom = 1.15,
+                                                  std::uint64_t min_block =
+                                                      2048);
+
+/// Update-rate policy when the sink filter also computes `compute` per
+/// byte on a single thread: besides the receiver-capacity bound, the block
+/// must be large enough that the sink's per-buffer handling cost
+/// (acknowledgment + runtime dispatch, ~sender_time(16B) + 2 us) fits in
+/// the time left over after computation. Returns `image_bytes` when the
+/// rate is infeasible at any block size.
+[[nodiscard]] std::uint64_t block_for_update_rate_with_compute(
+    const net::CostModel& model, double updates_per_sec,
+    std::uint64_t image_bytes, PerByteCost compute, double headroom = 1.15,
+    std::uint64_t min_block = 2048);
+
+/// The paper's latency-guarantee policy: largest block whose partial-update
+/// path (pipeline_hops one-way transfers, plus per-hop filter computation
+/// of `compute` per byte, plus per-hop runtime overhead) stays within
+/// `bound`. Returns 0 when even one byte misses the bound ("TCP drops
+/// out" at 100 us in Figure 8).
+///
+/// A realistic `per_hop_overhead` for the DataCutter pipeline includes the
+/// end-of-work marker barrier (one small-message exchange per stage) and
+/// the scheduler acknowledgment: see default_hop_overhead(). Following the
+/// paper, the guarantee is transport-level — pass `compute` only when the
+/// guarantee should also cover per-hop filter computation. Blocks are
+/// floored at `min_block` (no sub-KB chunking); infeasible bounds return 0.
+[[nodiscard]] std::uint64_t block_for_latency_bound(
+    const net::CostModel& model, SimTime bound, int pipeline_hops,
+    SimTime per_hop_overhead, PerByteCost compute = PerByteCost::zero(),
+    std::uint64_t min_block = 1024);
+
+/// Per-hop fixed overhead of a DataCutter unit of work on this transport:
+/// the end-of-work marker exchange plus runtime dispatch and ack costs.
+[[nodiscard]] SimTime default_hop_overhead(const net::CostModel& model);
+
+}  // namespace sv::viz

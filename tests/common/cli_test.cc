@@ -1,0 +1,103 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace sv {
+namespace {
+
+TEST(CliTest, ParsesAllTypes) {
+  bool flag = false;
+  std::int64_t n = 5;
+  double x = 1.5;
+  std::string s = "default";
+  CliParser p("test");
+  p.add_flag("verbose", &flag, "be chatty");
+  p.add_int("count", &n, "how many");
+  p.add_double("ratio", &x, "a ratio");
+  p.add_string("name", &s, "a name");
+
+  const char* argv[] = {"prog",       "--verbose",  "--count=42",
+                        "--ratio",    "2.75",       "--name=hello"};
+  ASSERT_TRUE(p.parse(6, argv));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.75);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(CliTest, SeparateValueForm) {
+  std::int64_t n = 0;
+  CliParser p("test");
+  p.add_int("count", &n, "how many");
+  const char* argv[] = {"prog", "--count", "17"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(n, 17);
+}
+
+TEST(CliTest, NoFlagNegation) {
+  bool flag = true;
+  CliParser p("test");
+  p.add_flag("color", &flag, "use color");
+  const char* argv[] = {"prog", "--no-color"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_FALSE(flag);
+}
+
+TEST(CliTest, UnknownOptionFails) {
+  CliParser p("test");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(CliTest, BadIntValueFails) {
+  std::int64_t n = 0;
+  CliParser p("test");
+  p.add_int("count", &n, "how many");
+  const char* argv[] = {"prog", "--count=notanumber"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(CliTest, MissingValueFails) {
+  std::int64_t n = 0;
+  CliParser p("test");
+  p.add_int("count", &n, "how many");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(CliTest, HelpReturnsFalseAndPrintsOptions) {
+  std::int64_t n = 3;
+  CliParser p("my tool");
+  p.add_int("count", &n, "how many widgets");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("my tool"), std::string::npos);
+  EXPECT_NE(u.find("--count"), std::string::npos);
+  EXPECT_NE(u.find("how many widgets"), std::string::npos);
+  EXPECT_NE(u.find("default: 3"), std::string::npos);
+}
+
+TEST(CliTest, PositionalArgumentsCollected) {
+  CliParser p("test");
+  const char* argv[] = {"prog", "alpha", "beta"};
+  ASSERT_TRUE(p.parse(3, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "alpha");
+  EXPECT_EQ(p.positional()[1], "beta");
+}
+
+TEST(CliTest, DefaultsPreservedWhenAbsent) {
+  std::int64_t n = 7;
+  std::string s = "keep";
+  CliParser p("test");
+  p.add_int("count", &n, "");
+  p.add_string("name", &s, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(n, 7);
+  EXPECT_EQ(s, "keep");
+}
+
+}  // namespace
+}  // namespace sv

@@ -1,0 +1,98 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace sv {
+namespace {
+
+using namespace sv::literals;
+
+TEST(SimTimeTest, ConstructionAndAccessors) {
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+  EXPECT_EQ(SimTime::microseconds(3).ns(), 3000);
+  EXPECT_EQ(SimTime::milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(SimTime::seconds(1).ns(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::microseconds(5).us(), 5.0);
+  EXPECT_DOUBLE_EQ(SimTime::milliseconds(7).ms(), 7.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(9).sec(), 9.0);
+}
+
+TEST(SimTimeTest, Literals) {
+  EXPECT_EQ((5_us).ns(), 5000);
+  EXPECT_EQ((2_ms).ns(), 2'000'000);
+  EXPECT_EQ((1_s).ns(), 1'000'000'000);
+  EXPECT_EQ((42_ns).ns(), 42);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  EXPECT_EQ((3_us + 4_us).ns(), 7000);
+  EXPECT_EQ((10_us - 4_us).ns(), 6000);
+  EXPECT_EQ((3_us * 4).ns(), 12000);
+  EXPECT_EQ((4 * 3_us).ns(), 12000);
+  EXPECT_EQ((12_us / 4).ns(), 3000);
+  EXPECT_EQ(12_us / 3_us, 4);
+  SimTime t = 1_us;
+  t += 2_us;
+  EXPECT_EQ(t.ns(), 3000);
+  t -= 1_us;
+  EXPECT_EQ(t.ns(), 2000);
+}
+
+TEST(SimTimeTest, Comparison) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_LE(2_us, 2_us);
+  EXPECT_GT(3_us, 2_us);
+  EXPECT_EQ(1000_ns, 1_us);
+  EXPECT_NE(999_ns, 1_us);
+}
+
+TEST(SimTimeTest, ToStringPicksUnit) {
+  EXPECT_EQ((500_ns).to_string(), "500ns");
+  EXPECT_EQ((1500_ns).to_string(), "1.50us");
+  EXPECT_NE((3_ms).to_string().find("ms"), std::string::npos);
+  EXPECT_NE((2_s).to_string().find("s"), std::string::npos);
+}
+
+TEST(PerByteCostTest, NanosPerByte) {
+  // The Virtual Microscope compute cost from the paper: 18 ns/byte.
+  const auto vm = PerByteCost::nanos_per_byte(18);
+  EXPECT_EQ(vm.ps_per_byte(), 18'000);
+  EXPECT_EQ(vm.for_bytes(1).ns(), 18);
+  EXPECT_EQ(vm.for_bytes(1024).ns(), 18 * 1024);
+  // 16 MB image at 18 ns/B = 301,989,888 ns (fits easily in int64).
+  EXPECT_EQ(vm.for_bytes(16_MiB).ns(), 301'989'888);
+}
+
+TEST(PerByteCostTest, FromMbpsRoundTrip) {
+  const auto r = PerByteCost::from_mbps(800);
+  EXPECT_EQ(r.ps_per_byte(), 10'000);  // 10 ns per byte
+  EXPECT_DOUBLE_EQ(r.mbps(), 800.0);
+}
+
+TEST(PerByteCostTest, RoundingIsNearest) {
+  const auto c = PerByteCost::picos_per_byte(1);  // 1 ps/B
+  EXPECT_EQ(c.for_bytes(499).ns(), 0);
+  EXPECT_EQ(c.for_bytes(500).ns(), 1);  // rounds half up
+  EXPECT_EQ(c.for_bytes(1500).ns(), 2);
+}
+
+TEST(PerByteCostTest, Addition) {
+  const auto a = PerByteCost::nanos_per_byte(2);
+  const auto b = PerByteCost::nanos_per_byte(3);
+  EXPECT_EQ((a + b).ns_per_byte(), 5.0);
+}
+
+TEST(ThroughputTest, Mbps) {
+  // 1 MB in 1 ms = 8 Gbps = 8000 Mbps.
+  EXPECT_DOUBLE_EQ(throughput_mbps(1'000'000, SimTime::milliseconds(1)),
+                   8000.0);
+  EXPECT_DOUBLE_EQ(throughput_mbps(100, SimTime::zero()), 0.0);
+}
+
+TEST(ByteLiteralsTest, KiBMiB) {
+  EXPECT_EQ(2_KiB, 2048u);
+  EXPECT_EQ(16_MiB, 16u * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace sv

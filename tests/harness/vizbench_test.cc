@@ -1,0 +1,70 @@
+// Tests for the experiment harness itself (scaled-down workloads).
+#include "harness/vizbench.h"
+
+#include <gtest/gtest.h>
+
+namespace sv::harness {
+namespace {
+
+using namespace sv::literals;
+
+VizWorkloadConfig small_config(net::Transport tr) {
+  VizWorkloadConfig cfg;
+  cfg.transport = tr;
+  cfg.image_bytes = 2_MiB;
+  cfg.block_bytes = 128_KiB;
+  return cfg;
+}
+
+TEST(VizbenchTest, IdlePartialLatencyIsStableAndOrdered) {
+  const auto tcp = measure_idle_partial_latency(
+      small_config(net::Transport::kKernelTcp));
+  const auto tcp2 = measure_idle_partial_latency(
+      small_config(net::Transport::kKernelTcp));
+  const auto svia = measure_idle_partial_latency(
+      small_config(net::Transport::kSocketVia));
+  EXPECT_EQ(tcp, tcp2);  // deterministic
+  EXPECT_LT(svia, tcp);  // transport ordering survives the full pipeline
+}
+
+TEST(VizbenchTest, PacedRunMeetsEasyTargetAndFailsImpossibleOne) {
+  auto cfg = small_config(net::Transport::kSocketVia);
+  const auto easy = run_paced_updates(cfg, 4.0, 4, 1);
+  EXPECT_TRUE(easy.met_target);
+  EXPECT_NEAR(easy.achieved_ups, 4.0, 0.3);
+  EXPECT_FALSE(easy.partial_latencies.empty());
+  // 2 MiB * 200/s = 400 MB/s >> any transport here.
+  const auto impossible = run_paced_updates(cfg, 200.0, 4, 1);
+  EXPECT_FALSE(impossible.met_target);
+  EXPECT_LT(impossible.achieved_ups, 200.0 * 0.9);
+}
+
+TEST(VizbenchTest, SaturationExceedsPacedFeasibleRate) {
+  auto cfg = small_config(net::Transport::kSocketVia);
+  const auto sat = run_saturation(cfg, 5, 1);
+  EXPECT_GT(sat.updates_per_sec, 10.0);  // 2 MiB images saturate far above 4
+  EXPECT_GT(sat.uncontended_partial_latency, SimTime::zero());
+}
+
+TEST(VizbenchTest, QueryMixMonotoneInCompleteFraction) {
+  auto cfg = small_config(net::Transport::kKernelTcp);
+  cfg.block_bytes = 2_MiB / 16;
+  const auto zoomy = run_query_mix(cfg, 0.0, 10);
+  const auto completey = run_query_mix(cfg, 1.0, 10);
+  EXPECT_EQ(zoomy.count(), 10u);
+  EXPECT_LT(zoomy.mean(), completey.mean());
+}
+
+TEST(VizbenchTest, QueryMixDeterministicPerSeed) {
+  auto cfg = small_config(net::Transport::kSocketVia);
+  cfg.seed = 77;
+  const auto a = run_query_mix(cfg, 0.5, 8);
+  const auto b = run_query_mix(cfg, 0.5, 8);
+  ASSERT_EQ(a.count(), b.count());
+  for (std::size_t i = 0; i < a.raw().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.raw()[i], b.raw()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sv::harness

@@ -1,0 +1,151 @@
+// Cross-layer integration tests pinning the paper's headline claims on the
+// executed system (scaled down where necessary to keep the suite fast).
+#include <gtest/gtest.h>
+
+#include "harness/vizbench.h"
+#include "vizapp/loadbalance.h"
+#include "vizapp/policy.h"
+#include "vizapp/server.h"
+
+namespace sv {
+namespace {
+
+using namespace sv::literals;
+
+// --- Claim (Fig 2): for a given required bandwidth, the high-performance
+// substrate needs a much smaller message size; and at TCP's message size,
+// SocketVIA has lower latency both directly and after repartitioning. ---
+TEST(PaperClaims, Figure2MessageSizeAndLatencyChain) {
+  const net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  const double required_mbps = 300.0;
+  const auto u1 = tcp.min_block_for_bandwidth(required_mbps);
+  const auto u2 = svia.min_block_for_bandwidth(required_mbps);
+  ASSERT_LT(u2, u1);
+  // L1: TCP latency at U1. L2: SocketVIA latency at U1. L3: at U2.
+  const auto l1 = tcp.one_way(u1);
+  const auto l2 = svia.one_way(u1);
+  const auto l3 = svia.one_way(u2);
+  EXPECT_LT(l2, l1);
+  EXPECT_LT(l3, l2);
+}
+
+// --- Claim (Fig 7 mechanism): at a rate TCP can barely sustain, the
+// repartitioned SocketVIA pipeline delivers partial updates several times
+// faster. Scaled: 4 MiB image, 2 updates/sec-equivalent rate. ---
+TEST(PaperClaims, RepartitioningCutsPartialLatency) {
+  const std::uint64_t image = 4_MiB;
+  const double ups = 10.0;  // scaled rate for the smaller image
+  const net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  const auto tcp_block = viz::block_for_update_rate(tcp, ups, image);
+  const auto dr_block = viz::block_for_update_rate(svia, ups, image);
+  ASSERT_LT(tcp_block, image);
+  ASSERT_LT(dr_block, tcp_block);
+
+  harness::VizWorkloadConfig cfg;
+  cfg.image_bytes = image;
+  cfg.transport = net::Transport::kKernelTcp;
+  cfg.block_bytes = tcp_block;
+  const auto tcp_r = harness::run_paced_updates(cfg, ups, 4, 1);
+  cfg.transport = net::Transport::kSocketVia;
+  cfg.block_bytes = dr_block;
+  const auto dr_r = harness::run_paced_updates(cfg, ups, 4, 1);
+  ASSERT_FALSE(tcp_r.partial_latencies.empty());
+  ASSERT_FALSE(dr_r.partial_latencies.empty());
+  EXPECT_GT(tcp_r.partial_latencies.mean(),
+            dr_r.partial_latencies.mean() * 3.0);
+}
+
+// --- Claim (Fig 8 mechanism): at a 100 us latency bound TCP has no
+// feasible block size while SocketVIA does, and SocketVIA's feasible
+// configuration actually meets the bound end to end. ---
+TEST(PaperClaims, TcpDropsOutAtTightLatencyBound) {
+  const net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  const auto tcp_block = viz::block_for_latency_bound(
+      tcp, 100_us, 3, viz::default_hop_overhead(tcp));
+  const auto svia_block = viz::block_for_latency_bound(
+      svia, 100_us, 3, viz::default_hop_overhead(svia));
+  EXPECT_EQ(tcp_block, 0u);
+  ASSERT_GT(svia_block, 0u);
+
+  harness::VizWorkloadConfig cfg;
+  cfg.transport = net::Transport::kSocketVia;
+  cfg.image_bytes = 4_MiB;
+  cfg.block_bytes = svia_block;
+  const auto measured = harness::measure_idle_partial_latency(cfg);
+  EXPECT_LE(measured.us(), 140.0);  // bound + scheduling noise allowance
+}
+
+// --- Claim (Fig 10): the balancer's blindness window scales with
+// slow-factor x block size, giving SocketVIA's 2 KB blocks ~8x faster
+// reaction than TCP's 16 KB blocks. ---
+TEST(PaperClaims, ReactionTimeRatioMatchesBlockRatio) {
+  viz::LoadBalanceConfig cfg;
+  cfg.total_bytes = 1_MiB;
+  cfg.policy = dc::SchedPolicy::kRoundRobin;
+  cfg.slow_worker = 2;
+  cfg.slow_factor = 4;
+  cfg.transport = net::Transport::kKernelTcp;
+  cfg.block_bytes = 16_KiB;
+  const auto tcp = viz::run_load_balance(cfg);
+  cfg.transport = net::Transport::kSocketVia;
+  cfg.block_bytes = 2_KiB;
+  const auto svia = viz::run_load_balance(cfg);
+  const double ratio =
+      tcp.slow_service_times.mean() / svia.slow_service_times.mean();
+  EXPECT_NEAR(ratio, 8.0, 2.5);
+}
+
+// --- Claim (Fig 11): demand-driven scheduling masks heterogeneity for
+// both transports: with DD, TCP's execution time is within ~15% of
+// SocketVIA's despite the raw transport gap, in the compute-bound regime.
+TEST(PaperClaims, DemandDrivenClosesTransportGap) {
+  viz::LoadBalanceConfig cfg;
+  cfg.total_bytes = 4_MiB;
+  cfg.policy = dc::SchedPolicy::kDemandDriven;
+  cfg.compute = PerByteCost::nanos_per_byte(60);
+  cfg.slow_worker = 0;
+  cfg.slow_factor = 4;
+  cfg.slow_probability = 0.5;
+  cfg.seed = 5;
+  cfg.transport = net::Transport::kSocketVia;
+  cfg.block_bytes = 2_KiB;
+  const auto svia = viz::run_load_balance(cfg);
+  cfg.transport = net::Transport::kKernelTcp;
+  cfg.block_bytes = 16_KiB;
+  const auto tcp = viz::run_load_balance(cfg);
+  const double gap = std::abs(tcp.exec_time.us() - svia.exec_time.us()) /
+                     svia.exec_time.us();
+  EXPECT_LT(gap, 0.15);
+}
+
+// --- Claim (Sec 5.1): micro-benchmark headline numbers, measured through
+// the executed sockets layer, not the closed-form model. ---
+TEST(PaperClaims, MicroBenchmarkHeadlines) {
+  auto one_way = [](net::Transport tr) {
+    sim::Simulation s;
+    net::Cluster cluster(&s, 2);
+    sockets::SocketFactory factory(&s, &cluster);
+    SimTime t;
+    s.spawn("app", [&] {
+      auto [a, b] = factory.connect(0, 1, tr);
+      const SimTime t0 = s.now();
+      s.spawn("rx", [&, b = std::move(b), t0]() mutable {
+        b->recv();
+        t = s.now() - t0;
+      });
+      a->send(net::Message{.bytes = 4});
+    });
+    s.run();
+    return t;
+  };
+  const double tcp_us = one_way(net::Transport::kKernelTcp).us();
+  const double svia_us = one_way(net::Transport::kSocketVia).us();
+  EXPECT_NEAR(svia_us, 9.5, 1.0);       // "as low as 9.5 us"
+  EXPECT_NEAR(tcp_us / svia_us, 5.0, 1.0);  // "factor of five"
+}
+
+}  // namespace
+}  // namespace sv

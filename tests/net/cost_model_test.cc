@@ -1,0 +1,150 @@
+#include "net/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sv::net {
+namespace {
+
+using namespace sv::literals;
+
+CalibrationProfile simple_profile() {
+  CalibrationProfile p;
+  p.name = "test";
+  p.send_fixed = 10_us;
+  p.send_per_seg = 1_us;
+  p.send_per_byte = PerByteCost::nanos_per_byte(1);
+  p.wire_per_seg = 2_us;
+  p.wire_per_byte = PerByteCost::nanos_per_byte(10);
+  p.propagation = 5_us;
+  p.recv_fixed = 10_us;
+  p.recv_per_seg = 1_us;
+  p.recv_per_byte = PerByteCost::nanos_per_byte(2);
+  p.segment_bytes = 1000;
+  p.window_bytes = 10'000;
+  return p;
+}
+
+TEST(CostModelTest, SegmentCount) {
+  CostModel m{simple_profile()};
+  EXPECT_EQ(m.segments(0), 0u);
+  EXPECT_EQ(m.segments(1), 1u);
+  EXPECT_EQ(m.segments(1000), 1u);
+  EXPECT_EQ(m.segments(1001), 2u);
+  EXPECT_EQ(m.segments(5000), 5u);
+}
+
+TEST(CostModelTest, StageTimesAreAffine) {
+  CostModel m{simple_profile()};
+  // sender(2000 B) = 10us fixed + 2 segs * 1us + 2000 B * 1 ns = 14 us.
+  EXPECT_EQ(m.sender_time(2000), 14_us);
+  // wire(2000 B) = 2 * 2us + 2000 * 10ns = 24 us.
+  EXPECT_EQ(m.wire_time(2000), 24_us);
+  // recv(2000 B) = 10 + 2*1 + 2000*2ns = 16 us.
+  EXPECT_EQ(m.recv_time(2000), 16_us);
+}
+
+TEST(CostModelTest, OneWaySingleSegment) {
+  CostModel m{simple_profile()};
+  // n=500: fixed(10+10+5) + S(1+0.5) + W(2+5) + R(1+1) = 35.5 us.
+  EXPECT_EQ(m.one_way(500), SimTime::nanoseconds(35'500));
+}
+
+TEST(CostModelTest, OneWayMultiSegmentUsesBottleneckCadence) {
+  CostModel m{simple_profile()};
+  // Full segment: S=2us, W=12us, R=3us; bottleneck W=12us.
+  // n=3000: 25us fixed + (2+12+3) + 2*12 = 66 us.
+  EXPECT_EQ(m.one_way(3000), 66_us);
+}
+
+TEST(CostModelTest, OneWayMonotoneInSize) {
+  CostModel m{CalibrationProfile::kernel_tcp()};
+  SimTime prev = SimTime::zero();
+  for (std::uint64_t n = 1; n <= 1_MiB; n *= 4) {
+    const auto t = m.one_way(n);
+    EXPECT_GT(t, prev) << "n=" << n;
+    prev = t;
+  }
+}
+
+TEST(CostModelTest, RoundTripIsTwiceOneWay) {
+  CostModel m{simple_profile()};
+  EXPECT_EQ(m.round_trip(500), m.one_way(500) * 2);
+}
+
+TEST(CostModelTest, StreamCycleIsBottleneckStage) {
+  CostModel m{simple_profile()};
+  // Per message of 3000 B: sender 10+3+3=16us, wire 6+30=36us, recv 10+3+6=19us.
+  EXPECT_EQ(m.stream_cycle(3000), 36_us);
+}
+
+TEST(CostModelTest, StreamBandwidthMonotoneNonDecreasing) {
+  for (const auto& prof :
+       {CalibrationProfile::via(), CalibrationProfile::socket_via(),
+        CalibrationProfile::kernel_tcp()}) {
+    CostModel m{prof};
+    double prev = 0.0;
+    for (std::uint64_t n = 4; n <= 1_MiB; n *= 2) {
+      const double bw = m.stream_bandwidth_mbps(n);
+      // 0.1 Mbps slack absorbs integer-nanosecond rounding noise near the
+      // asymptote; the economically-meaningful monotonicity still holds.
+      EXPECT_GE(bw, prev - 0.1) << prof.name << " n=" << n;
+      prev = bw;
+    }
+  }
+}
+
+TEST(CostModelTest, MinBlockForBandwidthIsExactThreshold) {
+  CostModel m{CalibrationProfile::socket_via()};
+  const double target = 400.0;
+  const auto n = m.min_block_for_bandwidth(target);
+  ASSERT_GT(n, 1u);
+  EXPECT_GE(m.stream_bandwidth_mbps(n), target);
+  EXPECT_LT(m.stream_bandwidth_mbps(n - 1), target);
+}
+
+TEST(CostModelTest, MinBlockForBandwidthUnreachableReturnsLimit) {
+  CostModel m{CalibrationProfile::kernel_tcp()};
+  // TCP peaks around 510 Mbps; 700 Mbps is unreachable.
+  EXPECT_EQ(m.min_block_for_bandwidth(700.0, 1_MiB), 1_MiB);
+}
+
+TEST(CostModelTest, MaxBlockForLatencyIsExactThreshold) {
+  CostModel m{CalibrationProfile::socket_via()};
+  const SimTime bound = 100_us;
+  const auto n = m.max_block_for_latency(bound);
+  ASSERT_GT(n, 0u);
+  EXPECT_LE(m.one_way(n), bound);
+  EXPECT_GT(m.one_way(n + 1), bound);
+}
+
+TEST(CostModelTest, MaxBlockForLatencyZeroWhenImpossible) {
+  CostModel m{CalibrationProfile::kernel_tcp()};
+  // TCP's fixed path alone is ~47 us; a 10 us bound is impossible.
+  EXPECT_EQ(m.max_block_for_latency(10_us), 0u);
+}
+
+TEST(CostModelTest, PipeliningBlockBalancesComputeAndTransfer) {
+  CostModel m{CalibrationProfile::socket_via()};
+  const auto compute = PerByteCost::nanos_per_byte(18);
+  const auto n = m.pipelining_block(compute);
+  ASSERT_GT(n, 0u);
+  // At the returned size compute >= transfer; just below it transfer wins.
+  EXPECT_GE(compute.for_bytes(n).ns(), m.one_way(n).ns());
+  if (n > 1) {
+    EXPECT_LT(compute.for_bytes(n - 1).ns(), m.one_way(n - 1).ns());
+  }
+}
+
+TEST(CostModelTest, PipeliningBlockReturnsLimitWhenComputeNeverCatchesUp) {
+  CostModel m{CalibrationProfile::kernel_tcp()};
+  // 1 ns/B compute is always cheaper than TCP transfer at any size.
+  EXPECT_EQ(m.pipelining_block(PerByteCost::nanos_per_byte(1), 1_MiB), 1_MiB);
+}
+
+TEST(CostModelTest, ZeroByteMessageStillPaysFixedCosts) {
+  CostModel m{simple_profile()};
+  EXPECT_EQ(m.one_way(0), 25_us);  // send_fixed + recv_fixed + propagation
+}
+
+}  // namespace
+}  // namespace sv::net

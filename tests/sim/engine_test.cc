@@ -1,0 +1,118 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sv::sim {
+namespace {
+
+using namespace sv::literals;
+
+TEST(EngineTest, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), SimTime::zero());
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30_us, [&] { order.push_back(3); });
+  e.schedule(10_us, [&] { order.push_back(1); });
+  e.schedule(20_us, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30_us);
+}
+
+TEST(EngineTest, SameTimeFiresInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(5_us, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EngineTest, HandlerMayScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) e.schedule(1_us, chain);
+  };
+  e.schedule(1_us, chain);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.now(), 5_us);
+}
+
+TEST(EngineTest, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule(10_us, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5_us, [] {}), std::logic_error);
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const auto id = e.schedule(10_us, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(e.cancel(id));  // double-cancel is false
+}
+
+TEST(EngineTest, CancelInvalidIdIsFalse) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(0));
+  EXPECT_FALSE(e.cancel(999));
+}
+
+TEST(EngineTest, RunUntilAdvancesClockExactly) {
+  Engine e;
+  int fired = 0;
+  e.schedule(10_us, [&] { ++fired; });
+  e.schedule(20_us, [&] { ++fired; });
+  e.schedule(30_us, [&] { ++fired; });
+  e.run_until(20_us);
+  EXPECT_EQ(fired, 2);  // events at t<=20us fire
+  EXPECT_EQ(e.now(), 20_us);
+  e.run_until(25_us);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 25_us);
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineTest, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule(1_us, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EngineTest, PendingCountTracksCancel) {
+  Engine e;
+  const auto a = e.schedule(1_us, [] {});
+  e.schedule(2_us, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EngineTest, EventsFiredCounter) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule(SimTime(i), [] {});
+  e.run();
+  EXPECT_EQ(e.events_fired(), 7u);
+}
+
+}  // namespace
+}  // namespace sv::sim

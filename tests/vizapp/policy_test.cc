@@ -1,0 +1,126 @@
+// Focused tests for the DR (data repartitioning) policies.
+#include "vizapp/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "vizapp/server.h"
+
+namespace sv::viz {
+namespace {
+
+using namespace sv::literals;
+
+constexpr std::uint64_t kImage = 16_MiB;
+
+TEST(PolicyComputeTest, WithComputeNeverSmallerThanBandwidthBlock) {
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  for (double ups : {2.0, 2.5, 3.0, 3.25}) {
+    const auto plain = block_for_update_rate(svia, ups, kImage);
+    const auto with = block_for_update_rate_with_compute(
+        svia, ups, kImage, virtual_microscope_compute());
+    EXPECT_GE(with, plain) << "ups=" << ups;
+  }
+}
+
+TEST(PolicyComputeTest, ComputeInfeasibleRateReturnsImage) {
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  // 16 MiB at 18 ns/B = ~302 ms/update; 3.5 updates/sec is impossible on a
+  // single-threaded sink.
+  EXPECT_EQ(block_for_update_rate_with_compute(svia, 3.5, kImage,
+                                               virtual_microscope_compute()),
+            kImage);
+  // 3.25 is just feasible (the paper's panel-b ceiling).
+  EXPECT_LT(block_for_update_rate_with_compute(svia, 3.25, kImage,
+                                               virtual_microscope_compute()),
+            kImage);
+}
+
+TEST(PolicyComputeTest, HandlingBoundGrowsBlocksNearCeiling) {
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  const auto b_low = block_for_update_rate_with_compute(
+      svia, 2.0, kImage, virtual_microscope_compute());
+  const auto b_high = block_for_update_rate_with_compute(
+      svia, 3.25, kImage, virtual_microscope_compute());
+  // Near the compute ceiling only a sliver of budget remains for
+  // per-buffer handling, so blocks must be much larger.
+  EXPECT_GT(b_high, b_low * 2);
+}
+
+TEST(PolicyComputeTest, ZeroComputeDelegatesToBandwidthPolicy) {
+  const net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  EXPECT_EQ(block_for_update_rate_with_compute(tcp, 3.0, kImage,
+                                               PerByteCost::zero()),
+            block_for_update_rate(tcp, 3.0, kImage));
+}
+
+TEST(PolicyLatencyTest, MinBlockFloorRespected) {
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  // A bound that admits blocks between 1 KiB and 2 KiB: floor at 2 KiB
+  // makes it infeasible.
+  const auto b1k = block_for_latency_bound(
+      svia, 100_us, 3, default_hop_overhead(svia), PerByteCost::zero(), 1024);
+  ASSERT_GT(b1k, 0u);
+  ASSERT_LT(b1k, 4096u);
+  const auto floored = block_for_latency_bound(
+      svia, 100_us, 3, default_hop_overhead(svia), PerByteCost::zero(),
+      b1k + 1);
+  EXPECT_EQ(floored, 0u);
+}
+
+TEST(PolicyLatencyTest, ComputeTightensTheBound) {
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  const auto without = block_for_latency_bound(
+      svia, 500_us, 3, default_hop_overhead(svia));
+  const auto with = block_for_latency_bound(
+      svia, 500_us, 3, default_hop_overhead(svia),
+      virtual_microscope_compute());
+  EXPECT_LT(with, without);
+}
+
+TEST(PolicyLatencyTest, MoreHopsMeanSmallerBlocks) {
+  const net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  const auto h2 =
+      block_for_latency_bound(tcp, 800_us, 2, default_hop_overhead(tcp));
+  const auto h4 =
+      block_for_latency_bound(tcp, 800_us, 4, default_hop_overhead(tcp));
+  EXPECT_GT(h2, h4);
+}
+
+TEST(PolicyCapacityTest, OverheadLowersCapacityWhenItBinds) {
+  const net::CostModel svia{net::CalibrationProfile::socket_via()};
+  // At 8 KiB SocketVIA is wire-bound; a small overhead hides behind the
+  // DMA time, a large one becomes the bottleneck.
+  const double no_ovh = receiver_capacity_bps(svia, 8192, SimTime::zero());
+  const double small_ovh =
+      receiver_capacity_bps(svia, 8192, SimTime::microseconds(10));
+  const double big_ovh =
+      receiver_capacity_bps(svia, 8192, SimTime::microseconds(200));
+  EXPECT_DOUBLE_EQ(no_ovh, small_ovh);
+  EXPECT_GT(no_ovh, big_ovh);
+}
+
+class PolicyRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolicyRateSweep, BlocksMonotoneInRateForBothTransports) {
+  const double ups = GetParam();
+  for (auto transport :
+       {net::Transport::kKernelTcp, net::Transport::kSocketVia}) {
+    const net::CostModel model{
+        net::CalibrationProfile::for_transport(transport)};
+    const auto b = block_for_update_rate(model, ups, kImage);
+    const auto b_next = block_for_update_rate(model, ups + 0.25, kImage);
+    EXPECT_LE(b, b_next) << net::transport_name(transport) << " ups=" << ups;
+    // Chosen block always delivers the required capacity (when feasible).
+    if (b < kImage) {
+      const double required = ups * static_cast<double>(kImage) * 1.15;
+      EXPECT_GE(receiver_capacity_bps(model, b) + 1.0, required);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PolicyRateSweep,
+                         ::testing::Values(1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0,
+                                           4.5, 5.0));
+
+}  // namespace
+}  // namespace sv::viz

@@ -1,0 +1,371 @@
+#include "vizapp/server.h"
+
+#include <gtest/gtest.h>
+
+#include "vizapp/loadbalance.h"
+#include "vizapp/policy.h"
+
+namespace sv::viz {
+namespace {
+
+using namespace sv::literals;
+
+// ---------- BlockedImage / GridImage ----------
+
+TEST(BlockedImageTest, BlockCountAndSizes) {
+  BlockedImage img(16_MiB, 256_KiB);
+  EXPECT_EQ(img.block_count(), 64u);
+  EXPECT_EQ(img.block_size(0), 256_KiB);
+  EXPECT_EQ(img.block_size(63), 256_KiB);
+  EXPECT_THROW(img.block_size(64), std::out_of_range);
+}
+
+TEST(BlockedImageTest, PartialFinalBlock) {
+  BlockedImage img(1000, 300);
+  EXPECT_EQ(img.block_count(), 4u);
+  EXPECT_EQ(img.block_size(0), 300u);
+  EXPECT_EQ(img.block_size(3), 100u);
+}
+
+TEST(BlockedImageTest, RangeLookup) {
+  BlockedImage img(1000, 300);
+  EXPECT_EQ(img.blocks_for_range(0, 1), (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(img.blocks_for_range(250, 100),
+            (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(img.blocks_for_range(900, 500), (std::vector<std::uint64_t>{3}));
+  EXPECT_TRUE(img.blocks_for_range(2000, 10).empty());
+  EXPECT_TRUE(img.blocks_for_range(0, 0).empty());
+}
+
+TEST(BlockedImageTest, RejectsZeroSizes) {
+  EXPECT_THROW(BlockedImage(0, 10), std::invalid_argument);
+  EXPECT_THROW(BlockedImage(10, 0), std::invalid_argument);
+}
+
+TEST(GridImageTest, ViewportBlocks) {
+  GridImage img(4096, 4096, 1024, 1024);  // 4x4 blocks
+  EXPECT_EQ(img.block_count(), 16u);
+  // A viewport fully inside block (1,1).
+  EXPECT_EQ(img.blocks_for_viewport(1100, 1100, 100, 100),
+            (std::vector<std::uint64_t>{5}));
+  // A viewport crossing 4 blocks (Figure 1's dotted rectangle).
+  const auto ids = img.blocks_for_viewport(1000, 1000, 100, 100);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{0, 1, 4, 5}));
+}
+
+TEST(GridImageTest, OverfetchGrowsWithBlockSize) {
+  // The same small viewport wastes more bytes with bigger blocks.
+  GridImage small_blocks(4096, 4096, 256, 256);
+  GridImage big_blocks(4096, 4096, 2048, 2048);
+  const double small_waste = small_blocks.overfetch_ratio(1000, 1000, 64, 64);
+  const double big_waste = big_blocks.overfetch_ratio(1000, 1000, 64, 64);
+  EXPECT_GT(big_waste, small_waste * 10);
+}
+
+// ---------- query planning ----------
+
+TEST(QueryTest, CompleteFetchesEverything) {
+  BlockedImage img(16_MiB, 2_MiB);  // 8 blocks
+  Query q{QueryType::kComplete, 0, 4};
+  EXPECT_EQ(plan_query(img, q).size(), 8u);
+  EXPECT_EQ(query_bytes(img, q), 16_MiB);
+}
+
+TEST(QueryTest, PartialFetchesOneBlock) {
+  BlockedImage img(16_MiB, 2_MiB);
+  Query q{QueryType::kPartial, 3, 4};
+  EXPECT_EQ(plan_query(img, q), (std::vector<std::uint64_t>{3}));
+  Query wrap{QueryType::kPartial, 11, 4};
+  EXPECT_EQ(plan_query(img, wrap), (std::vector<std::uint64_t>{3}));
+}
+
+TEST(QueryTest, ZoomFetchesFourChunks) {
+  BlockedImage img(16_MiB, 2_MiB);
+  Query q{QueryType::kZoom, 6, 4};
+  EXPECT_EQ(plan_query(img, q), (std::vector<std::uint64_t>{6, 7, 0, 1}));
+  EXPECT_EQ(query_bytes(img, q), 8_MiB);
+}
+
+TEST(QueryTest, ZoomClampedToImage) {
+  BlockedImage img(4_MiB, 2_MiB);  // only 2 blocks
+  Query q{QueryType::kZoom, 0, 4};
+  EXPECT_EQ(plan_query(img, q).size(), 2u);
+}
+
+// ---------- DR policies ----------
+
+TEST(PolicyTest, ReceiverCapacitySaturates) {
+  net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  const double small = receiver_capacity_bps(tcp, 1460);
+  const double big = receiver_capacity_bps(tcp, 64_KiB);
+  EXPECT_GT(big, small);
+  // Asymptote: the 510 Mbps receive-path bound (~63.7 MB/s).
+  EXPECT_NEAR(big / 1e6, 62.0, 4.0);
+}
+
+TEST(PolicyTest, UpdateRatePolicyGrowsWithRate) {
+  net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  const auto b2 = block_for_update_rate(tcp, 2.0, 16_MiB);
+  const auto b3 = block_for_update_rate(tcp, 3.0, 16_MiB);
+  const auto b325 = block_for_update_rate(tcp, 3.25, 16_MiB);
+  EXPECT_LT(b2, b3);
+  EXPECT_LT(b3, b325);
+  // Beyond capacity: TCP cannot sustain 3.75 updates/sec at any block size.
+  EXPECT_EQ(block_for_update_rate(tcp, 3.75, 16_MiB), 16_MiB);
+}
+
+TEST(PolicyTest, SocketViaSustainsHigherRatesWithSmallerBlocks) {
+  net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  net::CostModel svia{net::CalibrationProfile::socket_via()};
+  const auto tcp_block = block_for_update_rate(tcp, 3.0, 16_MiB);
+  const auto svia_block = block_for_update_rate(svia, 3.0, 16_MiB);
+  EXPECT_LT(svia_block * 2, tcp_block);
+  // SocketVIA still feasible at 4 updates/sec where TCP is not.
+  EXPECT_LT(block_for_update_rate(svia, 4.0, 16_MiB), 16_MiB);
+  EXPECT_EQ(block_for_update_rate(tcp, 4.0, 16_MiB), 16_MiB);
+}
+
+TEST(PolicyTest, LatencyBoundPolicy) {
+  net::CostModel tcp{net::CalibrationProfile::kernel_tcp()};
+  net::CostModel svia{net::CalibrationProfile::socket_via()};
+  // Figure 8: at a 100 us bound TCP drops out entirely; SocketVIA does not.
+  EXPECT_EQ(block_for_latency_bound(tcp, 100_us, 4, 2_us), 0u);
+  EXPECT_GT(block_for_latency_bound(svia, 100_us, 4, 2_us), 0u);
+  // Larger bounds admit larger blocks.
+  const auto b400 = block_for_latency_bound(tcp, 400_us, 4, 2_us);
+  const auto b1000 = block_for_latency_bound(tcp, 1000_us, 4, 2_us);
+  EXPECT_GT(b400, 0u);
+  EXPECT_GT(b1000, b400);
+}
+
+// ---------- the pipeline end to end ----------
+
+struct AppFixture {
+  sim::Simulation s;
+  net::Cluster cluster{&s, 16};
+  sockets::SocketFactory factory{&s, &cluster};
+};
+
+TEST(VizAppTest, CompleteQueryDeliversWholeImage) {
+  AppFixture f;
+  VizConfig cfg;
+  cfg.image_bytes = 4_MiB;
+  cfg.block_bytes = 256_KiB;
+  VizApp app(&f.s, &f.cluster, &f.factory, cfg);
+  app.start();
+  SimTime done_at;
+  f.s.spawn("client", [&] {
+    app.submit(Query{QueryType::kComplete, 0, 4});
+    auto done = app.wait_done();
+    ASSERT_TRUE(done.has_value());
+    done_at = done->second;
+    app.close();
+  });
+  f.s.run();
+  EXPECT_GT(done_at, SimTime::zero());
+  // 4 MiB over a ~95 MB/s substrate: tens of milliseconds.
+  EXPECT_LT(done_at, 200_ms);
+}
+
+TEST(VizAppTest, PartialQueryMuchFasterThanComplete) {
+  AppFixture f;
+  VizConfig cfg;
+  cfg.image_bytes = 16_MiB;
+  cfg.block_bytes = 256_KiB;
+  VizApp app(&f.s, &f.cluster, &f.factory, cfg);
+  app.start();
+  SimTime complete_latency, partial_latency;
+  f.s.spawn("client", [&] {
+    const SimTime t0 = f.s.now();
+    app.submit(Query{QueryType::kComplete, 0, 4});
+    app.wait_done();
+    complete_latency = f.s.now() - t0;
+    const SimTime t1 = f.s.now();
+    app.submit(Query{QueryType::kPartial, 5, 4});
+    app.wait_done();
+    partial_latency = f.s.now() - t1;
+    app.close();
+  });
+  f.s.run();
+  EXPECT_GT(complete_latency.ns(), partial_latency.ns() * 20);
+}
+
+TEST(VizAppTest, SocketViaFasterThanTcp) {
+  auto run_one = [](net::Transport tr) {
+    AppFixture f;
+    VizConfig cfg;
+    cfg.transport = tr;
+    cfg.image_bytes = 8_MiB;
+    cfg.block_bytes = 64_KiB;
+    VizApp app(&f.s, &f.cluster, &f.factory, cfg);
+    app.start();
+    SimTime latency;
+    f.s.spawn("client", [&] {
+      const SimTime t0 = f.s.now();
+      app.submit(Query{QueryType::kComplete, 0, 4});
+      app.wait_done();
+      latency = f.s.now() - t0;
+      app.close();
+    });
+    f.s.run();
+    return latency;
+  };
+  const SimTime tcp = run_one(net::Transport::kKernelTcp);
+  const SimTime svia = run_one(net::Transport::kSocketVia);
+  EXPECT_LT(svia, tcp);
+  // Bandwidth-bound: roughly the 510-vs-763 Mbps ratio.
+  const double ratio = tcp.us() / svia.us();
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST(VizAppTest, LinearComputationCapsUpdateRate) {
+  // With 18 ns/B at the single viz filter, one 16 MB update costs ~302 ms
+  // of compute: the system cannot exceed ~3.3 updates/sec (the paper's
+  // 3.25 ceiling in Figures 7b/8b).
+  AppFixture f;
+  VizConfig cfg;
+  cfg.image_bytes = 16_MiB;
+  cfg.block_bytes = 256_KiB;
+  cfg.viz_compute = virtual_microscope_compute();
+  cfg.stage_compute = virtual_microscope_compute();
+  VizApp app(&f.s, &f.cluster, &f.factory, cfg);
+  app.start();
+  const int kQueries = 6;
+  SimTime total;
+  f.s.spawn("client", [&] {
+    for (int i = 0; i < kQueries; ++i) {
+      app.submit(Query{QueryType::kComplete, 0, 4});
+    }
+    for (int i = 0; i < kQueries; ++i) app.wait_done();
+    total = f.s.now();
+    app.close();
+  });
+  f.s.run();
+  const double rate = kQueries / total.sec();
+  EXPECT_LT(rate, 3.5);
+  EXPECT_GT(rate, 2.5);
+}
+
+TEST(VizAppTest, PayloadsSurviveThePipeline) {
+  // Real pixel bytes generated at the repositories must arrive intact at
+  // the visualization filter through three transport hops and the
+  // demand-driven schedulers.
+  AppFixture f;
+  VizConfig cfg;
+  cfg.image_bytes = 2_MiB;
+  cfg.block_bytes = 128_KiB;  // 16 blocks
+  cfg.materialize_payloads = true;
+  VizApp app(&f.s, &f.cluster, &f.factory, cfg);
+  app.start();
+  f.s.spawn("client", [&] {
+    app.submit(Query{QueryType::kComplete, 0, 4});
+    app.wait_done();
+    app.submit(Query{QueryType::kZoom, 3, 4});
+    app.wait_done();
+    app.close();
+  });
+  f.s.run();
+  ASSERT_NE(app.viz_filter(), nullptr);
+  EXPECT_EQ(app.viz_filter()->payloads_verified(), 20u);  // 16 + 4
+  EXPECT_EQ(app.viz_filter()->payload_mismatches(), 0u);
+  EXPECT_EQ(app.viz_filter()->bytes_drawn(), 2_MiB + 4 * 128_KiB);
+}
+
+TEST(VizAppTest, RejectsTooSmallCluster) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 5);
+  sockets::SocketFactory factory(&s, &cluster);
+  VizConfig cfg;  // needs 10 nodes
+  EXPECT_THROW(VizApp(&s, &cluster, &factory, cfg), std::invalid_argument);
+}
+
+// ---------- load balancing (Figures 10/11 machinery) ----------
+
+TEST(LoadBalanceTest, HomogeneousRunMatchesComputeBound) {
+  LoadBalanceConfig cfg;
+  cfg.total_bytes = 4_MiB;
+  cfg.block_bytes = 2_KiB;
+  const auto r = run_load_balance(cfg);
+  // 4 MiB * 18 ns/B / 3 workers = ~25 ms lower bound.
+  EXPECT_GT(r.exec_time, 24_ms);
+  EXPECT_LT(r.exec_time, 45_ms);
+  EXPECT_EQ(r.blocks_per_worker.size(), 3u);
+  const auto total = r.blocks_per_worker[0] + r.blocks_per_worker[1] +
+                     r.blocks_per_worker[2];
+  EXPECT_EQ(total, 4_MiB / 2_KiB);
+}
+
+TEST(LoadBalanceTest, SlowNodeServiceTimeScalesWithFactorAndBlock) {
+  LoadBalanceConfig cfg;
+  cfg.total_bytes = 2_MiB;
+  cfg.policy = dc::SchedPolicy::kRoundRobin;
+  cfg.slow_worker = 1;
+
+  cfg.transport = net::Transport::kKernelTcp;
+  cfg.block_bytes = 16_KiB;
+  cfg.slow_factor = 4;
+  const auto tcp = run_load_balance(cfg);
+
+  cfg.transport = net::Transport::kSocketVia;
+  cfg.block_bytes = 2_KiB;
+  const auto svia = run_load_balance(cfg);
+
+  // Figure 10's mechanism: the balancer's blindness window is the slow
+  // node's per-block service time, ~8x smaller with SocketVIA's 2 KB
+  // blocks than with TCP's 16 KB blocks.
+  ASSERT_GT(tcp.slow_service_times.count(), 0u);
+  ASSERT_GT(svia.slow_service_times.count(), 0u);
+  const double ratio =
+      tcp.slow_service_times.mean() / svia.slow_service_times.mean();
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 11.0);
+}
+
+TEST(LoadBalanceTest, DemandDrivenBeatsRoundRobinWithSlowNode) {
+  LoadBalanceConfig cfg;
+  cfg.total_bytes = 4_MiB;
+  cfg.block_bytes = 2_KiB;
+  cfg.slow_worker = 0;
+  cfg.slow_factor = 8;
+
+  cfg.policy = dc::SchedPolicy::kRoundRobin;
+  const auto rr = run_load_balance(cfg);
+  cfg.policy = dc::SchedPolicy::kDemandDriven;
+  const auto dd = run_load_balance(cfg);
+
+  EXPECT_LT(dd.exec_time.ns(), rr.exec_time.ns());
+  // DD routes most blocks away from the slow worker; RR cannot.
+  EXPECT_LT(dd.blocks_per_worker[0] * 2, rr.blocks_per_worker[0]);
+}
+
+TEST(LoadBalanceTest, StochasticSlowdownDeterministicPerSeed) {
+  LoadBalanceConfig cfg;
+  cfg.total_bytes = 1_MiB;
+  cfg.block_bytes = 2_KiB;
+  cfg.slow_worker = 0;
+  cfg.slow_factor = 4;
+  cfg.slow_probability = 0.5;
+  cfg.seed = 42;
+  const auto a = run_load_balance(cfg);
+  const auto b = run_load_balance(cfg);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.blocks_per_worker, b.blocks_per_worker);
+}
+
+TEST(LoadBalanceTest, ExecTimeGrowsWithSlowProbability) {
+  LoadBalanceConfig cfg;
+  cfg.total_bytes = 2_MiB;
+  cfg.block_bytes = 2_KiB;
+  cfg.slow_worker = 0;
+  cfg.slow_factor = 8;
+  cfg.seed = 7;
+  cfg.slow_probability = 0.1;
+  const auto low = run_load_balance(cfg);
+  cfg.slow_probability = 0.9;
+  const auto high = run_load_balance(cfg);
+  EXPECT_GT(high.exec_time.ns(), low.exec_time.ns());
+}
+
+}  // namespace
+}  // namespace sv::viz
