@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mtu_nagle.dir/ablation_mtu_nagle.cc.o"
+  "CMakeFiles/ablation_mtu_nagle.dir/ablation_mtu_nagle.cc.o.d"
+  "ablation_mtu_nagle"
+  "ablation_mtu_nagle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mtu_nagle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rdma_pushpull.dir/ext_rdma_pushpull.cc.o"
+  "CMakeFiles/ext_rdma_pushpull.dir/ext_rdma_pushpull.cc.o.d"
+  "ext_rdma_pushpull"
+  "ext_rdma_pushpull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rdma_pushpull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_rdma_pushpull.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_microbench.dir/fig04_microbench.cc.o"
+  "CMakeFiles/fig04_microbench.dir/fig04_microbench.cc.o.d"
+  "fig04_microbench"
+  "fig04_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

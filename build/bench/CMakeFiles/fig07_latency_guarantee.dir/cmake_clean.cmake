@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_latency_guarantee.dir/fig07_latency_guarantee.cc.o"
+  "CMakeFiles/fig07_latency_guarantee.dir/fig07_latency_guarantee.cc.o.d"
+  "fig07_latency_guarantee"
+  "fig07_latency_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_latency_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rr_reaction.dir/fig10_rr_reaction.cc.o"
+  "CMakeFiles/fig10_rr_reaction.dir/fig10_rr_reaction.cc.o.d"
+  "fig10_rr_reaction"
+  "fig10_rr_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rr_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dd_heterogeneity.dir/fig11_dd_heterogeneity.cc.o"
+  "CMakeFiles/fig11_dd_heterogeneity.dir/fig11_dd_heterogeneity.cc.o.d"
+  "fig11_dd_heterogeneity"
+  "fig11_dd_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dd_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

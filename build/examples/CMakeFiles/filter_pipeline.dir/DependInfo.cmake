@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/filter_pipeline.cpp" "examples/CMakeFiles/filter_pipeline.dir/filter_pipeline.cpp.o" "gcc" "examples/CMakeFiles/filter_pipeline.dir/filter_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sv_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/vizapp/CMakeFiles/sv_vizapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacutter/CMakeFiles/sv_datacutter.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/sv_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/sv_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/sv_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

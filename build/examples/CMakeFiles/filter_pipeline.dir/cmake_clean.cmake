@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_pipeline.dir/filter_pipeline.cpp.o"
+  "CMakeFiles/filter_pipeline.dir/filter_pipeline.cpp.o.d"
+  "filter_pipeline"
+  "filter_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_microscope.dir/virtual_microscope.cpp.o"
+  "CMakeFiles/virtual_microscope.dir/virtual_microscope.cpp.o.d"
+  "virtual_microscope"
+  "virtual_microscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

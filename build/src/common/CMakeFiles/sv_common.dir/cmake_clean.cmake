@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_common.dir/cli.cc.o"
+  "CMakeFiles/sv_common.dir/cli.cc.o.d"
+  "CMakeFiles/sv_common.dir/log.cc.o"
+  "CMakeFiles/sv_common.dir/log.cc.o.d"
+  "CMakeFiles/sv_common.dir/rng.cc.o"
+  "CMakeFiles/sv_common.dir/rng.cc.o.d"
+  "CMakeFiles/sv_common.dir/stats.cc.o"
+  "CMakeFiles/sv_common.dir/stats.cc.o.d"
+  "CMakeFiles/sv_common.dir/table.cc.o"
+  "CMakeFiles/sv_common.dir/table.cc.o.d"
+  "CMakeFiles/sv_common.dir/units.cc.o"
+  "CMakeFiles/sv_common.dir/units.cc.o.d"
+  "libsv_common.a"
+  "libsv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_datacutter.dir/group.cc.o"
+  "CMakeFiles/sv_datacutter.dir/group.cc.o.d"
+  "CMakeFiles/sv_datacutter.dir/local_socket.cc.o"
+  "CMakeFiles/sv_datacutter.dir/local_socket.cc.o.d"
+  "CMakeFiles/sv_datacutter.dir/runtime.cc.o"
+  "CMakeFiles/sv_datacutter.dir/runtime.cc.o.d"
+  "libsv_datacutter.a"
+  "libsv_datacutter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_datacutter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

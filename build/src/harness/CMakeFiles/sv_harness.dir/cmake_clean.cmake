@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_harness.dir/series.cc.o"
+  "CMakeFiles/sv_harness.dir/series.cc.o.d"
+  "CMakeFiles/sv_harness.dir/vizbench.cc.o"
+  "CMakeFiles/sv_harness.dir/vizbench.cc.o.d"
+  "libsv_harness.a"
+  "libsv_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_net.dir/calibration.cc.o"
+  "CMakeFiles/sv_net.dir/calibration.cc.o.d"
+  "CMakeFiles/sv_net.dir/cluster.cc.o"
+  "CMakeFiles/sv_net.dir/cluster.cc.o.d"
+  "CMakeFiles/sv_net.dir/cost_model.cc.o"
+  "CMakeFiles/sv_net.dir/cost_model.cc.o.d"
+  "CMakeFiles/sv_net.dir/fabric.cc.o"
+  "CMakeFiles/sv_net.dir/fabric.cc.o.d"
+  "libsv_net.a"
+  "libsv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

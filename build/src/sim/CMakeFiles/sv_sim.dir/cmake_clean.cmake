@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_sim.dir/engine.cc.o"
+  "CMakeFiles/sv_sim.dir/engine.cc.o.d"
+  "CMakeFiles/sv_sim.dir/process.cc.o"
+  "CMakeFiles/sv_sim.dir/process.cc.o.d"
+  "CMakeFiles/sv_sim.dir/resource.cc.o"
+  "CMakeFiles/sv_sim.dir/resource.cc.o.d"
+  "CMakeFiles/sv_sim.dir/simulation.cc.o"
+  "CMakeFiles/sv_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/sv_sim.dir/sync.cc.o"
+  "CMakeFiles/sv_sim.dir/sync.cc.o.d"
+  "libsv_sim.a"
+  "libsv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sockets/factory.cc" "src/sockets/CMakeFiles/sv_sockets.dir/factory.cc.o" "gcc" "src/sockets/CMakeFiles/sv_sockets.dir/factory.cc.o.d"
+  "/root/repo/src/sockets/fast_socket.cc" "src/sockets/CMakeFiles/sv_sockets.dir/fast_socket.cc.o" "gcc" "src/sockets/CMakeFiles/sv_sockets.dir/fast_socket.cc.o.d"
+  "/root/repo/src/sockets/rdma_socket.cc" "src/sockets/CMakeFiles/sv_sockets.dir/rdma_socket.cc.o" "gcc" "src/sockets/CMakeFiles/sv_sockets.dir/rdma_socket.cc.o.d"
+  "/root/repo/src/sockets/tcp_socket.cc" "src/sockets/CMakeFiles/sv_sockets.dir/tcp_socket.cc.o" "gcc" "src/sockets/CMakeFiles/sv_sockets.dir/tcp_socket.cc.o.d"
+  "/root/repo/src/sockets/via_socket.cc" "src/sockets/CMakeFiles/sv_sockets.dir/via_socket.cc.o" "gcc" "src/sockets/CMakeFiles/sv_sockets.dir/via_socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/via/CMakeFiles/sv_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/sv_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

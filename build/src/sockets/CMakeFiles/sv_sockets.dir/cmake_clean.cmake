@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_sockets.dir/factory.cc.o"
+  "CMakeFiles/sv_sockets.dir/factory.cc.o.d"
+  "CMakeFiles/sv_sockets.dir/fast_socket.cc.o"
+  "CMakeFiles/sv_sockets.dir/fast_socket.cc.o.d"
+  "CMakeFiles/sv_sockets.dir/rdma_socket.cc.o"
+  "CMakeFiles/sv_sockets.dir/rdma_socket.cc.o.d"
+  "CMakeFiles/sv_sockets.dir/tcp_socket.cc.o"
+  "CMakeFiles/sv_sockets.dir/tcp_socket.cc.o.d"
+  "CMakeFiles/sv_sockets.dir/via_socket.cc.o"
+  "CMakeFiles/sv_sockets.dir/via_socket.cc.o.d"
+  "libsv_sockets.a"
+  "libsv_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_tcpstack.dir/tcp.cc.o"
+  "CMakeFiles/sv_tcpstack.dir/tcp.cc.o.d"
+  "libsv_tcpstack.a"
+  "libsv_tcpstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_tcpstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

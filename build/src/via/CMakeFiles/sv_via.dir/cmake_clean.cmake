@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_via.dir/via.cc.o"
+  "CMakeFiles/sv_via.dir/via.cc.o.d"
+  "libsv_via.a"
+  "libsv_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

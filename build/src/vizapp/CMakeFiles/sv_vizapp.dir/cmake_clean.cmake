@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_vizapp.dir/filters.cc.o"
+  "CMakeFiles/sv_vizapp.dir/filters.cc.o.d"
+  "CMakeFiles/sv_vizapp.dir/loadbalance.cc.o"
+  "CMakeFiles/sv_vizapp.dir/loadbalance.cc.o.d"
+  "CMakeFiles/sv_vizapp.dir/policy.cc.o"
+  "CMakeFiles/sv_vizapp.dir/policy.cc.o.d"
+  "CMakeFiles/sv_vizapp.dir/server.cc.o"
+  "CMakeFiles/sv_vizapp.dir/server.cc.o.d"
+  "libsv_vizapp.a"
+  "libsv_vizapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_vizapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_runtime_test.dir/datacutter/runtime_test.cc.o"
+  "CMakeFiles/dc_runtime_test.dir/datacutter/runtime_test.cc.o.d"
+  "dc_runtime_test"
+  "dc_runtime_test.pdb"
+  "dc_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_socket_test.dir/sockets/rdma_socket_test.cc.o"
+  "CMakeFiles/rdma_socket_test.dir/sockets/rdma_socket_test.cc.o.d"
+  "rdma_socket_test"
+  "rdma_socket_test.pdb"
+  "rdma_socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_edge_test.dir/sockets/socket_edge_test.cc.o"
+  "CMakeFiles/socket_edge_test.dir/sockets/socket_edge_test.cc.o.d"
+  "socket_edge_test"
+  "socket_edge_test.pdb"
+  "socket_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_test.dir/via/via_test.cc.o"
+  "CMakeFiles/via_test.dir/via/via_test.cc.o.d"
+  "via_test"
+  "via_test.pdb"
+  "via_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizapp_test.dir/vizapp/vizapp_test.cc.o"
+  "CMakeFiles/vizapp_test.dir/vizapp/vizapp_test.cc.o.d"
+  "vizapp_test"
+  "vizapp_test.pdb"
+  "vizapp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizapp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizbench_test.dir/harness/vizbench_test.cc.o"
+  "CMakeFiles/vizbench_test.dir/harness/vizbench_test.cc.o.d"
+  "vizbench_test"
+  "vizbench_test.pdb"
+  "vizbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
