@@ -43,7 +43,9 @@ class Reader : public dc::Filter {
       if (static_cast<std::size_t>(i) % 2 != ctx.copy_index()) continue;
       auto payload = std::make_shared<std::vector<std::byte>>(bytes_);
       for (std::size_t j = 0; j < bytes_; ++j) {
-        (*payload)[j] = static_cast<std::byte>((i * 131 + j) & 0xff);
+        (*payload)[j] =
+            static_cast<std::byte>((static_cast<std::size_t>(i) * 131 + j) &
+                                   0xff);
       }
       dc::DataBuffer b;
       b.bytes = bytes_;

@@ -1,0 +1,32 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace sv::detail {
+namespace {
+
+std::string format(const char* file, int line, const char* expr,
+                   const std::string& msg) {
+  // Keep only the basename; full build paths add noise to test output.
+  std::string f = file;
+  if (const auto slash = f.find_last_of('/'); slash != std::string::npos) {
+    f = f.substr(slash + 1);
+  }
+  std::ostringstream os;
+  os << f << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << ": " << msg;
+  return os.str();
+}
+
+}  // namespace
+
+void check_failed(const char* file, int line, const char* expr) {
+  throw CheckFailure(format(file, line, expr, ""));
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  throw CheckFailure(format(file, line, expr, msg));
+}
+
+}  // namespace sv::detail

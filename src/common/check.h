@@ -1,0 +1,53 @@
+// Runtime invariant checks for the simulator core.
+//
+// SV_ASSERT(cond [, msg])  — always on; throws sv::CheckFailure (a
+//                            std::logic_error) when cond is false. Use for
+//                            cheap invariants whose violation means the
+//                            simulation's determinism contract is broken
+//                            (DESIGN.md §8) and continuing would silently
+//                            corrupt results.
+// SV_DCHECK(cond [, msg])  — same, but compiled out of release builds
+//                            unless SV_ENABLE_DCHECKS is defined (the
+//                            sanitizer configurations define it). Use for
+//                            hot-path checks.
+//
+// Checks throw rather than abort so tests can assert on violations and so a
+// failure inside a simulated process unwinds through the normal
+// Simulation error path (the offending experiment dies; the test binary
+// reports it).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sv {
+
+/// Thrown when an SV_ASSERT/SV_DCHECK condition fails.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr);
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace sv
+
+#define SV_ASSERT(cond, ...)                                        \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::sv::detail::check_failed(__FILE__, __LINE__,                \
+                                 #cond __VA_OPT__(, ) __VA_ARGS__); \
+    }                                                               \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(SV_ENABLE_DCHECKS)
+#define SV_DCHECK(cond, ...) SV_ASSERT(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define SV_DCHECK(cond, ...) \
+  do {                       \
+  } while (0)
+#endif

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/units.h"
 
 namespace sv::dc {
@@ -18,17 +19,40 @@ struct DataBuffer {
   /// Application tag (e.g. chunk index within a query).
   std::uint64_t tag = 0;
   /// Optional application metadata.
-  std::any meta;
+  std::any meta{};
   /// Optional real payload (shared; the runtime never copies it).
-  std::shared_ptr<const std::vector<std::byte>> payload;
+  std::shared_ptr<const std::vector<std::byte>> payload{};
   /// Stamped by the runtime when the buffer is first written to a stream.
-  SimTime created_at;
+  SimTime created_at{};
+
+  /// True when a real payload is attached (timing-only buffers carry none).
+  [[nodiscard]] bool materialized() const { return payload != nullptr; }
+
+  /// Bounds-guarded payload access: returns a pointer to `len` bytes at
+  /// `offset`. Reading past the written extent — beyond the materialized
+  /// payload or beyond the buffer's logical size — is a contract violation
+  /// (SV_ASSERT), not UB.
+  [[nodiscard]] const std::byte* read_at(std::uint64_t offset,
+                                         std::uint64_t len) const {
+    SV_ASSERT(payload != nullptr,
+              "DataBuffer: payload read on a non-materialized buffer");
+    SV_ASSERT(offset + len <= bytes,
+              "DataBuffer: read past logical extent");
+    SV_ASSERT(offset + len <= payload->size(),
+              "DataBuffer: read past written payload");
+    return payload->data() + offset;
+  }
+
+  /// Single-byte guarded read.
+  [[nodiscard]] std::byte read_byte(std::uint64_t i) const {
+    return *read_at(i, 1);
+  }
 };
 
 /// A unit of work: one application query handled by the filter group.
 struct Uow {
   std::uint64_t id = 0;
-  std::any work;
+  std::any work{};
 };
 
 }  // namespace sv::dc

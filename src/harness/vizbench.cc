@@ -72,6 +72,9 @@ PacedResult run_paced_updates(const VizWorkloadConfig& cfg, double target_ups,
     }
   });
   s.run();
+  result.events_fired = s.events_fired();
+  result.trace_digest = s.engine().trace_digest();
+  result.end_time = s.now();
 
   if (static_cast<int>(completions.size()) > warmup + 1) {
     const auto span = completions.back() -

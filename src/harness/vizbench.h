@@ -41,6 +41,13 @@ struct PacedResult {
   Samples partial_latencies;
   /// True when the pipeline kept up with the submission rate (within 5%).
   bool met_target = false;
+  /// Determinism evidence: total events executed and the engine's FNV-1a
+  /// event-trace digest. Two runs with identical config + seed must match
+  /// on all three of (events_fired, trace_digest, end_time) bit-for-bit
+  /// (tests/integration/determinism_replay_test.cc).
+  std::uint64_t events_fired = 0;
+  std::uint64_t trace_digest = 0;
+  SimTime end_time;
 };
 [[nodiscard]] PacedResult run_paced_updates(const VizWorkloadConfig& cfg,
                                             double target_ups,

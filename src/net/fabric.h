@@ -40,12 +40,12 @@ struct Message {
   /// Application tag (e.g. DataCutter stream id or query id).
   std::uint64_t tag = 0;
   /// Timestamps for latency accounting.
-  SimTime sent_at;
-  SimTime delivered_at;
+  SimTime sent_at{};
+  SimTime delivered_at{};
   /// Optional real payload (shared, never copied by the fabric).
-  std::shared_ptr<const std::vector<std::byte>> payload;
+  std::shared_ptr<const std::vector<std::byte>> payload{};
   /// Optional application metadata (e.g. a DataCutter buffer descriptor).
-  std::any meta;
+  std::any meta{};
 };
 
 class Pipe {

@@ -1,16 +1,42 @@
 #include "sim/engine.h"
 
-#include <cassert>
-#include <stdexcept>
+#include "common/check.h"
 
 namespace sv::sim {
+namespace {
+
+/// RAII re-entrancy guard: handlers may schedule/cancel but must not pump
+/// the engine themselves (that would interleave two events "at once" and
+/// break deterministic ordering).
+class HandlerScope {
+ public:
+  explicit HandlerScope(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~HandlerScope() { *flag_ = false; }
+  HandlerScope(const HandlerScope&) = delete;
+  HandlerScope& operator=(const HandlerScope&) = delete;
+
+ private:
+  bool* flag_;
+};
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xffULL)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace
 
 std::uint64_t Engine::schedule_at(SimTime t, Handler fn) {
-  if (t < now_) {
-    throw std::logic_error("Engine::schedule_at: time in the past");
-  }
+  SV_ASSERT(t >= now_, "Engine::schedule_at: time in the past (t=" +
+                           t.to_string() + " now=" + now_.to_string() + ")");
   const std::uint64_t id = next_id_++;
   queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
   ++live_events_;
   return id;
 }
@@ -20,29 +46,38 @@ std::uint64_t Engine::schedule(SimTime delay, Handler fn) {
 }
 
 bool Engine::cancel(std::uint64_t id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Only mark ids that are still pending; we cannot cheaply check membership
-  // in the heap, so callers may only cancel ids they know are pending.
-  const auto [_, inserted] = cancelled_.insert(id);
-  if (!inserted) return false;
-  if (live_events_ == 0) return false;
+  // Exact membership test: ids that already fired (or were never issued)
+  // are rejected without touching any bookkeeping.
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  SV_DCHECK(live_events_ > 0, "cancel with no live events");
   --live_events_;
   return true;
 }
 
+void Engine::note_fired(const Event& ev) {
+  SV_DCHECK(ev.time >= now_, "event queue returned a past event");
+  now_ = ev.time;
+  pending_ids_.erase(ev.id);
+  --live_events_;
+  ++fired_;
+  digest_ = fnv1a_mix(digest_, static_cast<std::uint64_t>(ev.time.ns()));
+  digest_ = fnv1a_mix(digest_, ev.id);
+}
+
 bool Engine::step() {
+  SV_ASSERT(!in_handler_,
+            "re-entrant Engine::step/run from inside an event handler");
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+    // Purge tombstones on pop so cancelled_ never outlives its event.
+    if (cancelled_.erase(ev.id) != 0) continue;
+    note_fired(ev);
+    {
+      HandlerScope scope(&in_handler_);
+      ev.fn();
     }
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    --live_events_;
-    ++fired_;
-    ev.fn();
     return true;
   }
   return false;
@@ -54,21 +89,25 @@ void Engine::run() {
 }
 
 void Engine::run_until(SimTime t) {
+  SV_ASSERT(!in_handler_,
+            "re-entrant Engine::run_until from inside an event handler");
   while (!queue_.empty()) {
-    // Peek: skip tombstones without advancing the clock.
+    // Peek: stop at the boundary first, then skip tombstones without
+    // advancing the clock. Tombstones beyond t stay queued until the clock
+    // actually reaches them (lazy purge keeps run_until O(events <= t)).
     const Event& top = queue_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
+    if (top.time > t) break;
+    if (cancelled_.erase(top.id) != 0) {
       queue_.pop();
       continue;
     }
-    if (top.time > t) break;
     Event ev = queue_.top();
     queue_.pop();
-    now_ = ev.time;
-    --live_events_;
-    ++fired_;
-    ev.fn();
+    note_fired(ev);
+    {
+      HandlerScope scope(&in_handler_);
+      ev.fn();
+    }
   }
   if (now_ < t) now_ = t;
 }

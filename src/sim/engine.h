@@ -2,7 +2,9 @@
 //
 // Events with equal timestamps fire in insertion order, which — together
 // with the one-process-at-a-time execution model in simulation.h — makes
-// every run of a seeded experiment bit-identical.
+// every run of a seeded experiment bit-identical. The engine folds every
+// fired event into an FNV-1a trace digest so replay tests can prove two
+// runs executed the identical event sequence (see trace_digest()).
 #pragma once
 
 #include <cstdint>
@@ -28,13 +30,16 @@ class Engine {
   /// Schedules `fn` to fire `delay` after now().
   std::uint64_t schedule(SimTime delay, Handler fn);
 
-  /// Cancels a pending event; returns false if already fired/cancelled.
+  /// Cancels a pending event; returns false if already fired/cancelled
+  /// (cancel-after-fire is detected exactly, not guessed).
   bool cancel(std::uint64_t id);
 
   [[nodiscard]] bool empty() const { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending() const { return live_events_; }
 
   /// Pops and runs the next event; returns false if the queue is empty.
+  /// Re-entrant calls (stepping the engine from inside a handler) violate
+  /// the one-event-at-a-time contract and fail an SV_ASSERT.
   bool step();
   /// Runs events until the queue is empty.
   void run();
@@ -42,6 +47,18 @@ class Engine {
   void run_until(SimTime t);
 
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+  /// FNV-1a hash over the (time, id) pairs of every fired event, in firing
+  /// order. Two runs of the same seeded experiment must produce identical
+  /// digests; see tests/integration/determinism_replay_test.cc.
+  [[nodiscard]] std::uint64_t trace_digest() const { return digest_; }
+
+  // ---- White-box introspection (tests only) ----
+  /// Number of tombstoned (cancelled but not yet popped) events. Bounded by
+  /// pending(); must drain to zero as the queue empties.
+  [[nodiscard]] std::size_t tombstone_count() const {
+    return cancelled_.size();
+  }
 
  private:
   struct Event {
@@ -57,13 +74,26 @@ class Engine {
     }
   };
 
+  /// Marks `ev` fired: updates bookkeeping, clock and trace digest.
+  void note_fired(const Event& ev);
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::size_t live_events_ = 0;
   std::uint64_t fired_ = 0;
+  bool in_handler_ = false;
+  std::uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Cancelled ids are tombstoned and skipped on pop.
+  // Ids of events currently in the queue and not cancelled. Membership makes
+  // cancel() exact: cancelling a fired or unknown id is a detected no-op, so
+  // neither cancelled_ nor the live-event count can drift (the seed version
+  // leaked a tombstone per cancel-after-fire). Never iterated (svlint SV001);
+  // membership tests only.
+  std::unordered_set<std::uint64_t> pending_ids_;
+  // Cancelled ids are tombstoned and skipped on pop; every tombstone
+  // corresponds to an event still in queue_, so the set cannot grow beyond
+  // the queue and is fully purged as the queue drains.
   std::unordered_set<std::uint64_t> cancelled_;
 };
 

@@ -22,7 +22,6 @@ void Process::trampoline() {
     std::unique_lock<std::mutex> lk(mutex_);
     cv_.wait(lk, [this] { return ctl_ == Ctl::kProcess; });
   }
-  started_ = true;
   try {
     body_();
   } catch (const ProcessKilled&) {

@@ -62,7 +62,6 @@ class Process {
   std::condition_variable cv_;
   Ctl ctl_ = Ctl::kScheduler;
 
-  bool started_ = false;
   bool finished_ = false;
   bool blocked_ = false;       // waiting for an explicit wake()
   std::uint64_t wait_epoch_ = 0;  // bumps on every block; guards stale wakes

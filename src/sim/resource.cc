@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/check.h"
+
 namespace sv::sim {
 
 Resource::Resource(Simulation* sim, std::int64_t capacity, std::string name)
@@ -13,6 +15,8 @@ Resource::Resource(Simulation* sim, std::int64_t capacity, std::string name)
 
 void Resource::account() {
   const SimTime now = sim_->now();
+  SV_DCHECK(now >= last_change_,
+            "Resource[" + name_ + "]: simulated clock moved backwards");
   busy_integral_ns_ += in_use_ * (now - last_change_).ns();
   last_change_ = now;
 }
@@ -25,12 +29,16 @@ void Resource::acquire() {
   if (in_use_ < capacity_ && waiters_.empty()) {
     account();
     ++in_use_;
+    SV_DCHECK(in_use_ <= capacity_,
+              "Resource[" + name_ + "]: holders exceed capacity");
     return;
   }
   waiters_.push_back(p);
   sim_->block_current(name_);
   // Direct handoff: release() transferred the unit to us before waking, so
   // in_use_ already counts this holder. Nothing to re-check.
+  SV_DCHECK(in_use_ > 0 && in_use_ <= capacity_,
+            "Resource[" + name_ + "]: handoff bookkeeping corrupt");
 }
 
 bool Resource::try_acquire() {
@@ -43,9 +51,9 @@ bool Resource::try_acquire() {
 }
 
 void Resource::release() {
-  if (in_use_ <= 0) {
-    throw std::logic_error("Resource[" + name_ + "]::release with none held");
-  }
+  // Double-release detection: every release must match a held unit.
+  SV_ASSERT(in_use_ > 0,
+            "Resource[" + name_ + "]::release with none held (double release?)");
   if (!waiters_.empty()) {
     // Transfer the unit directly to the oldest waiter; in_use_ is unchanged.
     Process* next = waiters_.front();

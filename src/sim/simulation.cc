@@ -1,7 +1,9 @@
 #include "sim/simulation.h"
 
 #include <stdexcept>
+#include <utility>
 
+#include "common/check.h"
 #include "common/log.h"
 
 namespace sv::sim {
@@ -35,8 +37,7 @@ void Simulation::resume(Process& p) {
   p.resume_from_scheduler();
   current_ = prev;
   if (p.error_) {
-    auto err = p.error_;
-    p.error_ = nullptr;
+    auto err = std::exchange(p.error_, nullptr);
     if (shutting_down_) {
       SV_ERROR("sim") << "process '" << p.name()
                       << "' threw during shutdown; exception dropped";
@@ -96,16 +97,32 @@ void Simulation::wake(Process& p) {
   engine_.schedule(SimTime::zero(), [this, &p] { resume(p); });
 }
 
+namespace {
+// Clears running_ even when a process error propagates out of run(), so a
+// test that EXPECT_THROWs on run() can keep using the simulation.
+struct RunningScope {
+  explicit RunningScope(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~RunningScope() { *flag_ = false; }
+  RunningScope(const RunningScope&) = delete;
+  RunningScope& operator=(const RunningScope&) = delete;
+  bool* flag_;
+};
+}  // namespace
+
 void Simulation::run() {
-  running_ = true;
+  SV_ASSERT(!running_ && current_ == nullptr,
+            "Simulation::run: nested run (called from inside a process or "
+            "event handler)");
+  RunningScope scope(&running_);
   engine_.run();
-  running_ = false;
 }
 
 void Simulation::run_until(SimTime t) {
-  running_ = true;
+  SV_ASSERT(!running_ && current_ == nullptr,
+            "Simulation::run_until: nested run (called from inside a process "
+            "or event handler)");
+  RunningScope scope(&running_);
   engine_.run_until(t);
-  running_ = false;
 }
 
 std::size_t Simulation::live_process_count() const {

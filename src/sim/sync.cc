@@ -1,5 +1,9 @@
 #include "sim/sync.h"
 
+#include <limits>
+
+#include "common/check.h"
+
 namespace sv::sim {
 
 void WaitQueue::scrub() {
@@ -15,7 +19,7 @@ void WaitQueue::wait() {
   }
   auto entry = std::make_shared<Entry>();
   entry->proc = p;
-  entries_.push_back(entry);
+  entries_.push_back(std::move(entry));
   sim_->block_current(name_);
 }
 
@@ -44,8 +48,10 @@ bool WaitQueue::wait_for(SimTime timeout) {
 bool WaitQueue::notify_one() {
   scrub();
   if (entries_.empty()) return false;
-  auto entry = entries_.front();
+  auto entry = std::move(entries_.front());
   entries_.pop_front();
+  SV_DCHECK(entry->proc != nullptr && !entry->done,
+            "WaitQueue[" + name_ + "]: scrubbed entry at queue head");
   entry->done = true;
   entry->notified = true;
   sim_->wake(*entry->proc);
@@ -70,6 +76,7 @@ void Semaphore::acquire() {
     queue_.wait();
   }
   --count_;
+  SV_DCHECK(count_ >= 0, "Semaphore: count went negative");
 }
 
 bool Semaphore::try_acquire() {
@@ -79,6 +86,10 @@ bool Semaphore::try_acquire() {
 }
 
 void Semaphore::release() {
+  // Overflow here means unbalanced release() calls (the semaphore analogue
+  // of a double-release).
+  SV_ASSERT(count_ < std::numeric_limits<std::int64_t>::max(),
+            "Semaphore: release overflow (unbalanced release calls)");
   ++count_;
   queue_.notify_one();
 }

@@ -39,7 +39,7 @@ class WaitQueue {
 
  private:
   struct Entry {
-    Process* proc;
+    Process* proc = nullptr;
     bool notified = false;
     bool done = false;  // true once notified or timed out
   };
@@ -55,7 +55,7 @@ class WaitQueue {
 class Semaphore {
  public:
   Semaphore(Simulation* sim, std::int64_t initial, std::string name = "sem")
-      : sim_(sim), count_(initial), queue_(sim, std::move(name)) {}
+      : count_(initial), queue_(sim, std::move(name)) {}
 
   void acquire();
   /// Non-blocking acquire; true on success.
@@ -68,7 +68,6 @@ class Semaphore {
   }
 
  private:
-  Simulation* sim_;
   std::int64_t count_;
   WaitQueue queue_;
 };
@@ -80,8 +79,7 @@ template <typename T>
 class Channel {
  public:
   Channel(Simulation* sim, std::size_t capacity, std::string name = "chan")
-      : sim_(sim),
-        capacity_(capacity),
+      : capacity_(capacity),
         name_(std::move(name)),
         senders_(sim, name_ + ".send"),
         receivers_(sim, name_ + ".recv") {}
@@ -141,7 +139,6 @@ class Channel {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
-  Simulation* sim_;
   std::size_t capacity_;
   std::string name_;
   std::deque<T> items_;

@@ -36,9 +36,9 @@ via::Nic& SocketFactory::via_nic(std::size_t node) {
 
 SocketPair SocketFactory::connect(std::size_t src, std::size_t dst,
                                   net::Transport transport) {
-  const std::string name = std::string(net::transport_name(transport)) +
-                           ".conn" + std::to_string(next_conn_id_++);
   if (fidelity_ == Fidelity::kFast) {
+    const std::string name = std::string(net::transport_name(transport)) +
+                             ".conn" + std::to_string(next_conn_id_++);
     auto profile = net::CalibrationProfile::for_transport(transport);
     if (window_override_ != 0) profile.window_bytes = window_override_;
     return FastSocket::make_pair(sim_, &cluster_->node(src),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace sv::sockets {
 
@@ -29,7 +30,7 @@ SocketPair RdmaPushSocket::make_pair(via::Nic& a, via::Nic& b,
                   [state, i] { state->demux_loop(i); });
   }
   std::unique_ptr<SvSocket> sa(new RdmaPushSocket(state, 0));
-  std::unique_ptr<SvSocket> sb(new RdmaPushSocket(state, 1));
+  std::unique_ptr<SvSocket> sb(new RdmaPushSocket(std::move(state), 1));
   return {std::move(sa), std::move(sb)};
 }
 

@@ -1,6 +1,7 @@
 #include "sockets/tcp_socket.h"
 
 #include <limits>
+#include <utility>
 
 namespace sv::sockets {
 namespace {
@@ -24,8 +25,11 @@ SocketPair DetailedTcpSocket::make_pair(tcpstack::TcpStack& a,
   auto [ca, cb] = tcpstack::TcpStack::connect(a, b, options);
   auto dir_ab = std::make_shared<Direction>(&a.sim());
   auto dir_ba = std::make_shared<Direction>(&a.sim());
-  std::unique_ptr<SvSocket> sa(new DetailedTcpSocket(ca, dir_ab, dir_ba));
-  std::unique_ptr<SvSocket> sb(new DetailedTcpSocket(cb, dir_ba, dir_ab));
+  std::unique_ptr<SvSocket> sa(
+      new DetailedTcpSocket(std::move(ca), dir_ab, dir_ba));
+  std::unique_ptr<SvSocket> sb(
+      new DetailedTcpSocket(std::move(cb), std::move(dir_ba),
+                            std::move(dir_ab)));
   return {std::move(sa), std::move(sb)};
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace sv::sockets {
 
@@ -33,7 +34,7 @@ SocketPair DetailedViaSocket::make_pair(via::Nic& a, via::Nic& b,
         [state, i] { state->demux_loop(i); });
   }
   std::unique_ptr<SvSocket> sa(new DetailedViaSocket(state, 0));
-  std::unique_ptr<SvSocket> sb(new DetailedViaSocket(state, 1));
+  std::unique_ptr<SvSocket> sb(new DetailedViaSocket(std::move(state), 1));
   return {std::move(sa), std::move(sb)};
 }
 

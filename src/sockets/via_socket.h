@@ -109,9 +109,8 @@ class DetailedViaSocket final : public SvSocket {
   DetailedViaSocket(std::shared_ptr<PairState> state, int side)
       : state_(std::move(state)), side_(side) {}
 
-  [[nodiscard]] Side& mine() const { return state_->sides[static_cast<std::size_t>(side_)]; }
-  [[nodiscard]] Side& theirs() const {
-    return state_->sides[static_cast<std::size_t>(1 - side_)];
+  [[nodiscard]] Side& mine() const {
+    return state_->sides[static_cast<std::size_t>(side_)];
   }
 
   std::shared_ptr<PairState> state_;

@@ -40,11 +40,12 @@ void VizFilter::process(dc::FilterContext& ctx) {
     if (compute_ != PerByteCost::zero()) {
       ctx.compute(compute_.for_bytes(b->bytes));
     }
-    if (b->payload) {
+    if (b->materialized()) {
       ++payloads_verified_;
-      const auto& data = *b->payload;
-      for (std::uint64_t j = 0; j < data.size(); ++j) {
-        if (data[j] != RepoFilter::pixel(b->tag, j)) {
+      // Guarded reads: going past the written extent is a caught contract
+      // violation rather than UB (see DataBuffer::read_at).
+      for (std::uint64_t j = 0; j < b->payload->size(); ++j) {
+        if (b->read_byte(j) != RepoFilter::pixel(b->tag, j)) {
           ++payload_mismatches_;
           break;
         }

@@ -1,0 +1,58 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sv {
+namespace {
+
+TEST(CheckTest, PassingAssertIsSilent) {
+  EXPECT_NO_THROW(SV_ASSERT(1 + 1 == 2));
+  EXPECT_NO_THROW(SV_ASSERT(true, "never shown"));
+}
+
+TEST(CheckTest, FailingAssertThrowsCheckFailure) {
+  EXPECT_THROW(SV_ASSERT(false), CheckFailure);
+  // CheckFailure is a std::logic_error, so callers that already catch
+  // logic_error keep working.
+  EXPECT_THROW(SV_ASSERT(false), std::logic_error);
+}
+
+TEST(CheckTest, MessageCarriesExpressionLocationAndDetail) {
+  try {
+    SV_ASSERT(2 < 1, "two is not less than one");
+    FAIL() << "SV_ASSERT did not throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckTest, ConditionIsEvaluatedExactlyOnce) {
+  int calls = 0;
+  SV_ASSERT([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, DcheckMatchesBuildConfiguration) {
+#if !defined(NDEBUG) || defined(SV_ENABLE_DCHECKS)
+  EXPECT_THROW(SV_DCHECK(false, "dchecks are on"), CheckFailure);
+#else
+  int evaluations = 0;
+  SV_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0) << "SV_DCHECK must compile out in release";
+#endif
+}
+
+}  // namespace
+}  // namespace sv

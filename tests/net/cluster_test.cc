@@ -14,7 +14,7 @@ TEST(ClusterTest, NodesAreIndexedAndNamed) {
   EXPECT_EQ(c.node(0).id(), 0);
   EXPECT_EQ(c.node(3).id(), 3);
   EXPECT_EQ(c.node(2).name(), "node2");
-  EXPECT_THROW(c.node(4), std::out_of_range);
+  EXPECT_THROW((void)c.node(4), std::out_of_range);
 }
 
 TEST(ClusterTest, DefaultNodesAreDualCpu) {

@@ -43,9 +43,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          Transport::kKernelTcp),
                        ::testing::Values(64ULL, 1024ULL, 4096ULL, 16384ULL,
                                          65536ULL, 1048576ULL)),
-    [](const auto& info) {
-      return std::string(transport_name(std::get<0>(info.param))) + "_" +
-             std::to_string(std::get<1>(info.param)) + "B";
+    [](const auto& param_info) {
+      return std::string(transport_name(std::get<0>(param_info.param))) + "_" +
+             std::to_string(std::get<1>(param_info.param)) + "B";
     });
 
 class FabricStreamingAgreement : public ::testing::TestWithParam<Transport> {
@@ -78,8 +78,8 @@ INSTANTIATE_TEST_SUITE_P(AllTransports, FabricStreamingAgreement,
                          ::testing::Values(Transport::kVia,
                                            Transport::kSocketVia,
                                            Transport::kKernelTcp),
-                         [](const auto& info) {
-                           return std::string(transport_name(info.param));
+                         [](const auto& param_info) {
+                           return std::string(transport_name(param_info.param));
                          });
 
 TEST(FabricEdgeTest, ZeroByteMessageDelivers) {

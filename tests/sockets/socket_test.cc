@@ -136,11 +136,11 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(Fidelity::kFast, Transport::kVia),
         std::make_tuple(Fidelity::kDetailed, Transport::kKernelTcp),
         std::make_tuple(Fidelity::kDetailed, Transport::kSocketVia)),
-    [](const ::testing::TestParamInfo<SocketApiTest::ParamType>& info) {
-      return std::string(std::get<0>(info.param) == Fidelity::kFast
+    [](const ::testing::TestParamInfo<SocketApiTest::ParamType>& param_info) {
+      return std::string(std::get<0>(param_info.param) == Fidelity::kFast
                              ? "Fast"
                              : "Detailed") +
-             net::transport_name(std::get<1>(info.param));
+             net::transport_name(std::get<1>(param_info.param));
     });
 
 TEST(SocketFactoryTest, DetailedRawViaRejected) {
@@ -272,9 +272,9 @@ TEST_P(FidelityAgreementTest, OneWayTimesAgreeWithinTolerance) {
 INSTANTIATE_TEST_SUITE_P(BothTransports, FidelityAgreementTest,
                          ::testing::Values(Transport::kKernelTcp,
                                            Transport::kSocketVia),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               net::transport_name(info.param));
+                               net::transport_name(param_info.param));
                          });
 
 }  // namespace

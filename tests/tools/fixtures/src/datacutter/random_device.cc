@@ -1,0 +1,13 @@
+// svlint fixture: SV003 — OS entropy source.
+#include <random>
+
+unsigned fresh_seed() {
+  std::random_device rd;  // line 5: SV003
+  return rd();
+}
+
+unsigned fresh_seed_allowed() {
+  // svlint:allow(SV003): fixture exercise
+  std::random_device rd;
+  return rd();
+}

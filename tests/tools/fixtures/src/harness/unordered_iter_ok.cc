@@ -1,0 +1,16 @@
+// svlint fixture: the same iteration pattern as src/sim/unordered_iter.cc
+// but located in src/harness, which is not an ordered-output context —
+// SV001 must not fire here.
+#include <unordered_map>
+
+struct Report {
+  std::unordered_map<int, int> counts_;
+
+  int total() {
+    int s = 0;
+    for (const auto& [k, v] : counts_) {
+      s += v;
+    }
+    return s;
+  }
+};

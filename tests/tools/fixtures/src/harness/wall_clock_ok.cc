@@ -1,0 +1,8 @@
+// svlint fixture: wall-clock reads are permitted in src/harness (it
+// measures the real cost of the simulator itself) — SV004 must not fire.
+#include <chrono>
+
+double wall_seconds() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

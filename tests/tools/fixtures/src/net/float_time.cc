@@ -1,0 +1,38 @@
+// svlint fixture: SV006 — floating-point accumulation of simulated time.
+#include <cstdint>
+
+struct SimTime {
+  long long ns_ = 0;
+  explicit SimTime(long long v) : ns_(v) {}
+  double us() const { return static_cast<double>(ns_) / 1e3; }
+  double ms() const { return static_cast<double>(ns_) / 1e6; }
+  long long ns() const { return ns_; }
+};
+
+double total_us(const SimTime* ts, int n) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += ts[i].us();  // line 15: SV006
+  }
+  return acc;
+}
+
+SimTime round_trip(SimTime t) {
+  return SimTime(static_cast<long long>(t.ms()));  // line 21: SV006
+}
+
+long long total_ns(const SimTime* ts, int n) {
+  long long acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += ts[i].ns();  // integer accumulation: fine
+  }
+  return acc;
+}
+
+double allowed(const SimTime* ts, int n) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += ts[i].us();  // svlint:allow(SV006): reporting-only sum
+  }
+  return acc;
+}

@@ -1,0 +1,17 @@
+// svlint fixture: SV002 — process-global libc RNG.
+#include <cstdlib>
+
+int jitter() {
+  return std::rand() % 7;  // line 5: SV002
+}
+
+void reseed() {
+  srand(42);  // line 9: SV002
+}
+
+int jitter_allowed() {
+  return std::rand() % 7;  // svlint:allow(SV002): fixture exercise
+}
+
+// Identifiers merely containing "rand" must not trip the rule.
+int operand_count(int grand_total) { return grand_total; }

@@ -1,0 +1,29 @@
+// svlint fixture: a clean file — zero findings expected. Hazard words in
+// comments and string literals must be ignored by the stripper:
+// rand() std::random_device std::chrono::steady_clock
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Clean {
+  std::unordered_map<int, int> lookup_;  // membership only, never iterated
+  std::map<int, int> ordered_;
+
+  int get(int k) const {
+    auto it = lookup_.find(k);
+    return it == lookup_.end() ? 0 : it->second;  /* find() is fine */
+  }
+
+  int sum_ordered() const {
+    int s = 0;
+    for (const auto& [k, v] : ordered_) {
+      s += v;
+    }
+    return s;
+  }
+
+  std::string banner() const {
+    return "do not call rand() or std::chrono::system_clock::now()";
+  }
+};

@@ -1,0 +1,14 @@
+// svlint fixture: SV005 — pointer-keyed ordered containers.
+#include <map>
+#include <set>
+
+struct Node {};
+
+struct Registry {
+  // Keys below are raw pointers: iteration order follows address order.
+  std::map<Node*, int> weights_;        // line 9: SV005
+  std::set<const Node*> members_;       // line 10: SV005
+  std::map<int, Node*> by_id_;          // value is a pointer: fine
+  std::set<int> plain_;                 // fine
+  std::map<Node*, int> allowed_;        // svlint:allow(SV005): fixture
+};

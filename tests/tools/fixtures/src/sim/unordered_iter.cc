@@ -1,0 +1,35 @@
+// svlint fixture: SV001 — unordered-container iteration in src/sim.
+// Never compiled; scanned by svlint_test.
+#include <unordered_map>
+#include <unordered_set>
+
+struct Scheduler {
+  std::unordered_map<int, int> table_;
+  std::unordered_set<long> ids_;
+
+  int sum_bad() {
+    int s = 0;
+    for (const auto& [k, v] : table_) {  // line 12: SV001
+      s += v;
+    }
+    return s;
+  }
+
+  long first_bad() { return *ids_.begin(); }  // line 18: SV001
+
+  int sum_allowed() {
+    int s = 0;
+    // svlint:allow(SV001): aggregation is order-independent
+    for (const auto& [k, v] : table_) {
+      s += v;
+    }
+    return s;
+  }
+};
+int inline_temporary_bad() {
+  int s = 0;
+  for (int v : std::unordered_set<int>{1, 2, 3}) {  // line 31: SV001
+    s += v;
+  }
+  return s;
+}

@@ -1,0 +1,34 @@
+// svlint fixture: SV004 — wall-clock reads inside simulation code.
+#include <chrono>
+#include <ctime>
+
+long now_ns() {
+  auto t = std::chrono::steady_clock::now();  // line 6: SV004
+  return t.time_since_epoch().count();
+}
+
+long today() {
+  auto t = std::chrono::system_clock::now();  // line 11: SV004
+  return t.time_since_epoch().count();
+}
+
+long hires() {
+  auto t = std::chrono::high_resolution_clock::now();  // line 16: SV004
+  return t.time_since_epoch().count();
+}
+
+long unix_time() {
+  return static_cast<long>(time(nullptr));  // line 21: SV004
+}
+
+long posix_time() {
+  struct timespec ts;
+  clock_gettime(0, &ts);  // line 26: SV004
+  return ts.tv_sec;
+}
+
+long allowed() {
+  // svlint:allow(SV004): fixture exercise
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,146 @@
+// Fixture-corpus tests for svlint: every rule id must catch its seeded
+// violation, path scoping must hold, and suppressions must downgrade
+// findings without hiding them.
+#include "svlint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace sv::lint {
+namespace {
+
+std::vector<Finding> scan_fixture(const std::string& rel_path) {
+  return scan_file(SVLINT_FIXTURE_DIR, rel_path);
+}
+
+std::vector<Finding> unsuppressed(const std::vector<Finding>& fs) {
+  std::vector<Finding> out;
+  std::copy_if(fs.begin(), fs.end(), std::back_inserter(out),
+               [](const Finding& f) { return !f.suppressed; });
+  return out;
+}
+
+bool has(const std::vector<Finding>& fs, const std::string& rule, int line) {
+  return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line && !f.suppressed;
+  });
+}
+
+TEST(SvlintRules, RuleTableListsSixRules) {
+  ASSERT_EQ(rules().size(), 6u);
+  EXPECT_STREQ(rules().front().id, "SV001");
+  EXPECT_STREQ(rules().back().id, "SV006");
+}
+
+TEST(SvlintRules, Sv001CatchesUnorderedIteration) {
+  const auto fs = scan_fixture("src/sim/unordered_iter.cc");
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV001", 12)) << "range-for over member map";
+  EXPECT_TRUE(has(live, "SV001", 18)) << ".begin() on unordered set";
+  EXPECT_TRUE(has(live, "SV001", 31)) << "range-for over temporary";
+  EXPECT_EQ(live.size(), 3u);
+  // The allowed block is still reported, flagged as suppressed.
+  EXPECT_EQ(fs.size(), 4u);
+  EXPECT_TRUE(fs[2].suppressed || fs[3].suppressed);
+}
+
+TEST(SvlintRules, Sv001ScopedToOrderedOutputContexts) {
+  const auto fs = scan_fixture("src/harness/unordered_iter_ok.cc");
+  EXPECT_TRUE(fs.empty()) << "src/harness is not an ordered-output context";
+}
+
+TEST(SvlintRules, Sv002CatchesLibcRand) {
+  const auto live = unsuppressed(scan_fixture("src/net/rand_call.cc"));
+  EXPECT_TRUE(has(live, "SV002", 5)) << "std::rand()";
+  EXPECT_TRUE(has(live, "SV002", 9)) << "srand()";
+  EXPECT_EQ(live.size(), 2u) << "identifiers containing 'rand' must not trip";
+}
+
+TEST(SvlintRules, Sv003CatchesRandomDevice) {
+  const auto live =
+      unsuppressed(scan_fixture("src/datacutter/random_device.cc"));
+  EXPECT_TRUE(has(live, "SV003", 5));
+  EXPECT_EQ(live.size(), 1u);
+}
+
+TEST(SvlintRules, Sv004CatchesWallClocks) {
+  const auto live = unsuppressed(scan_fixture("src/vizapp/wall_clock.cc"));
+  EXPECT_TRUE(has(live, "SV004", 6)) << "steady_clock";
+  EXPECT_TRUE(has(live, "SV004", 11)) << "system_clock";
+  EXPECT_TRUE(has(live, "SV004", 16)) << "high_resolution_clock";
+  EXPECT_TRUE(has(live, "SV004", 21)) << "time(nullptr)";
+  EXPECT_TRUE(has(live, "SV004", 26)) << "clock_gettime";
+  EXPECT_EQ(live.size(), 5u);
+}
+
+TEST(SvlintRules, Sv004AllowsHarness) {
+  EXPECT_TRUE(scan_fixture("src/harness/wall_clock_ok.cc").empty());
+}
+
+TEST(SvlintRules, Sv005CatchesPointerKeyedContainers) {
+  const auto live = unsuppressed(scan_fixture("src/sim/ptr_map.cc"));
+  EXPECT_TRUE(has(live, "SV005", 9)) << "std::map<Node*, int>";
+  EXPECT_TRUE(has(live, "SV005", 10)) << "std::set<const Node*>";
+  EXPECT_EQ(live.size(), 2u)
+      << "pointer values / non-pointer keys must not trip";
+}
+
+TEST(SvlintRules, Sv006CatchesFloatTimeAccumulation) {
+  const auto live = unsuppressed(scan_fixture("src/net/float_time.cc"));
+  EXPECT_TRUE(has(live, "SV006", 15)) << "+= over .us()";
+  EXPECT_TRUE(has(live, "SV006", 21)) << "SimTime from float expression";
+  EXPECT_EQ(live.size(), 2u) << "integer .ns() accumulation must not trip";
+}
+
+TEST(SvlintRules, CleanFileHasNoFindings) {
+  EXPECT_TRUE(scan_fixture("src/sim/clean.cc").empty())
+      << "hazard words in comments/strings must be stripped; find()/"
+         "membership on unordered containers is fine";
+}
+
+TEST(SvlintSuppression, SameLineAndPreviousLineBothWork) {
+  const std::string same_line =
+      "int f() { return std::rand(); }  // svlint:allow(SV002): why\n";
+  auto fs = scan_source("src/sim/x.cc", same_line);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suppressed);
+
+  const std::string prev_line =
+      "// svlint:allow(SV002): why\nint f() { return std::rand(); }\n";
+  fs = scan_source("src/sim/x.cc", prev_line);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suppressed);
+
+  const std::string wrong_rule =
+      "int f() { return std::rand(); }  // svlint:allow(SV001)\n";
+  fs = scan_source("src/sim/x.cc", wrong_rule);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_FALSE(fs[0].suppressed) << "allow of a different rule is inert";
+}
+
+TEST(SvlintSuppression, MultiRuleAllowList) {
+  const std::string text =
+      "double d = 0; d += t.us();  // svlint:allow(SV004, SV006)\n";
+  const auto fs = scan_source("src/net/x.cc", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "SV006");
+  EXPECT_TRUE(fs[0].suppressed);
+}
+
+TEST(SvlintScan, FindingsAreSortedAndStable) {
+  const std::string text =
+      "int a = std::rand();\n"
+      "std::random_device rd;\n";
+  const auto fs = scan_source("src/net/x.cc", text);
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[0].rule, "SV002");
+  EXPECT_EQ(fs[1].line, 2);
+  EXPECT_EQ(fs[1].rule, "SV003");
+}
+
+}  // namespace
+}  // namespace sv::lint

@@ -17,7 +17,7 @@ TEST(BlockedImageTest, BlockCountAndSizes) {
   EXPECT_EQ(img.block_count(), 64u);
   EXPECT_EQ(img.block_size(0), 256_KiB);
   EXPECT_EQ(img.block_size(63), 256_KiB);
-  EXPECT_THROW(img.block_size(64), std::out_of_range);
+  EXPECT_THROW((void)img.block_size(64), std::out_of_range);
 }
 
 TEST(BlockedImageTest, PartialFinalBlock) {

@@ -1,0 +1,108 @@
+// svlint CLI. Scans C++ sources under a repository root for determinism
+// hazards and exits nonzero if any unsuppressed finding remains.
+//
+//   svlint --root <repo> [--verbose] [--list-rules] [paths...]
+//
+// Paths are directories or files relative to --root; the default scan set is
+// "src bench". Run from CTest as the `svlint_src` test and from CI.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "svlint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_cxx_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+std::string to_rel(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> targets;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) {
+        std::cerr << "svlint: --root needs an argument\n";
+        return 2;
+      }
+      root = fs::path(argv[i]);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : sv::lint::rules()) {
+        std::cout << r.id << "  " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: svlint [--root DIR] [--verbose] [--list-rules] "
+                   "[paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "svlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) targets = {"src", "bench"};
+
+  // Expand targets to a sorted, de-duplicated file list so output (and any
+  // future baseline diffing) is stable.
+  std::vector<std::string> files;
+  for (const std::string& t : targets) {
+    const fs::path p = root / t;
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && has_cxx_extension(entry.path())) {
+          files.push_back(to_rel(root, entry.path()));
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(to_rel(root, p));
+    } else {
+      std::cerr << "svlint: no such file or directory: " << p.string()
+                << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const std::string& rel : files) {
+    for (const auto& f : sv::lint::scan_file(root, rel)) {
+      if (f.suppressed) {
+        ++suppressed;
+        if (verbose) {
+          std::cout << f.rel_path << ":" << f.line << ": " << f.rule
+                    << " (suppressed): " << f.message << "\n";
+        }
+        continue;
+      }
+      ++unsuppressed;
+      std::cout << f.rel_path << ":" << f.line << ": " << f.rule << ": "
+                << f.message << "\n";
+    }
+  }
+
+  std::cout << "svlint: " << files.size() << " files, " << unsuppressed
+            << " finding(s), " << suppressed << " suppressed\n";
+  return unsuppressed == 0 ? 0 : 1;
+}

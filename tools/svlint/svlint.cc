@@ -1,0 +1,484 @@
+#include "svlint.h"
+
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace sv::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"SV001",
+     "iteration over std::unordered_map/unordered_set in an ordered-output "
+     "context (src/sim, src/net, src/datacutter, src/vizapp): element order "
+     "is implementation-defined and varies across libstdc++ versions"},
+    {"SV002",
+     "call to rand()/srand(): unseeded process-global RNG; use sv::Rng "
+     "(common/rng.h) so streams are seeded and splittable"},
+    {"SV003",
+     "std::random_device: reads OS entropy, different on every run; use a "
+     "seeded sv::Rng"},
+    {"SV004",
+     "wall-clock read (std::chrono::{system,steady,high_resolution}_clock, "
+     "gettimeofday, clock_gettime, time(nullptr)) outside src/harness and "
+     "src/common/rng.cc: simulated code must only observe SimTime"},
+    {"SV005",
+     "pointer-keyed std::map/std::set (or std::less<T*>): iteration order "
+     "follows allocation addresses, which differ across runs under ASLR"},
+    {"SV006",
+     "float/double accumulation of simulated time (+= over .us()/.ms()/"
+     ".sec(), or SimTime built back from a floating expression): rounding "
+     "is order-dependent; accumulate integer .ns() instead"},
+};
+
+// Directories whose output feeds deterministic event ordering: iterating an
+// unordered container here is a hazard even if it "looks" read-only.
+constexpr const char* kOrderedContexts[] = {"src/sim/", "src/net/",
+                                            "src/datacutter/", "src/vizapp/"};
+
+// Files allowed to read wall clocks (measurement harness; RNG seeding).
+constexpr const char* kWallClockAllowPrefixes[] = {"src/harness/"};
+constexpr const char* kWallClockAllowFiles[] = {"src/common/rng.cc"};
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool in_ordered_context(const std::string& rel_path) {
+  for (const char* dir : kOrderedContexts) {
+    if (starts_with(rel_path, dir)) return true;
+  }
+  return false;
+}
+
+bool wall_clock_allowed(const std::string& rel_path) {
+  for (const char* dir : kWallClockAllowPrefixes) {
+    if (starts_with(rel_path, dir)) return true;
+  }
+  for (const char* f : kWallClockAllowFiles) {
+    if (rel_path == f) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Comment/string stripping + suppression harvesting
+// ---------------------------------------------------------------------------
+
+struct StrippedSource {
+  std::vector<std::string> code;                 // per line, literals blanked
+  std::vector<std::set<std::string>> allows;     // per line, allowed rule ids
+};
+
+// Parses "svlint:allow(SV001, SV004)" occurrences inside one comment.
+void harvest_allows(const std::string& comment, std::set<std::string>* out) {
+  static const std::regex kAllow(R"(svlint:allow\(([^)]*)\))");
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+       it != std::sregex_iterator(); ++it) {
+    std::stringstream ids((*it)[1].str());
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      std::string trimmed;
+      for (char c : id) {
+        if (!std::isspace(static_cast<unsigned char>(c))) trimmed += c;
+      }
+      if (!trimmed.empty()) out->insert(trimmed);
+    }
+  }
+}
+
+// Removes comments and the contents of string/char literals, keeping line
+// structure (so findings carry correct line numbers) and recording
+// suppression comments per line.
+StrippedSource strip(const std::string& text) {
+  StrippedSource out;
+  enum class St { kCode, kLine, kBlock, kStr, kChr };
+  St st = St::kCode;
+  std::string code_line;
+  std::string comment;  // accumulates the current comment's text
+
+  auto end_line = [&] {
+    out.code.push_back(code_line);
+    out.allows.emplace_back();
+    harvest_allows(comment, &out.allows.back());
+    code_line.clear();
+    comment.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLine) st = St::kCode;
+      end_line();
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLine;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlock;
+          ++i;
+        } else if (c == '"') {
+          // Raw strings are not handled specially; rare in this tree.
+          st = St::kStr;
+          code_line += '"';
+        } else if (c == '\'') {
+          st = St::kChr;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case St::kLine:
+        comment += c;
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          ++i;
+        } else {
+          comment += c;
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          code_line += '"';
+        }
+        break;
+      case St::kChr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          code_line += '\'';
+        }
+        break;
+    }
+  }
+  end_line();  // final (possibly empty) line
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small lexical helpers
+// ---------------------------------------------------------------------------
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Whole-word search for `word` in `s`; returns npos if absent.
+std::size_t find_word(const std::string& s, const std::string& word,
+                      std::size_t from = 0) {
+  for (std::size_t pos = s.find(word, from); pos != std::string::npos;
+       pos = s.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+// Starting at s[open] == '<', returns the index just past the matching '>',
+// or npos if unbalanced. Treats '>>' as two closers (good enough for types).
+std::size_t skip_template_args(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------------------
+// SV001: unordered-container iteration
+// ---------------------------------------------------------------------------
+
+// Collects names of variables/members declared with an unordered container
+// type anywhere in the file (declaration and use may be lines apart).
+std::set<std::string> collect_unordered_names(
+    const std::vector<std::string>& code) {
+  std::set<std::string> names;
+  for (const std::string& line : code) {
+    for (const char* kw : {"unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"}) {
+      for (std::size_t pos = find_word(line, kw); pos != std::string::npos;
+           pos = find_word(line, kw, pos + 1)) {
+        std::size_t i = pos + std::string(kw).size();
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        if (i >= line.size() || line[i] != '<') continue;
+        i = skip_template_args(line, i);
+        if (i == std::string::npos) break;  // declaration spans lines; skip
+        // Skip refs/pointers/cv and whitespace before the identifier.
+        while (i < line.size() &&
+               (std::isspace(static_cast<unsigned char>(line[i])) ||
+                line[i] == '&' || line[i] == '*')) {
+          ++i;
+        }
+        std::string ident;
+        while (i < line.size() && is_ident_char(line[i])) ident += line[i++];
+        if (ident == "const") {
+          // "unordered_map<...> const x" is not written in this tree; skip.
+          continue;
+        }
+        if (!ident.empty()) names.insert(ident);
+      }
+    }
+  }
+  return names;
+}
+
+// Extracts the range expression of a range-for on `line`, or empty string.
+std::string range_for_expr(const std::string& line) {
+  for (std::size_t pos = find_word(line, "for"); pos != std::string::npos;
+       pos = find_word(line, "for", pos + 1)) {
+    std::size_t i = pos + 3;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size() || line[i] != '(') continue;
+    int depth = 0;
+    std::size_t colon = std::string::npos, close = std::string::npos;
+    for (std::size_t j = i; j < line.size(); ++j) {
+      const char c = line[j];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1) {
+        const bool scope = (j > 0 && line[j - 1] == ':') ||
+                           (j + 1 < line.size() && line[j + 1] == ':');
+        if (!scope && colon == std::string::npos) colon = j;
+      }
+    }
+    if (colon != std::string::npos && close != std::string::npos &&
+        colon < close) {
+      return line.substr(colon + 1, close - colon - 1);
+    }
+  }
+  return {};
+}
+
+void check_sv001(const std::string& rel_path,
+                 const std::vector<std::string>& code,
+                 std::vector<Finding>* out) {
+  if (!in_ordered_context(rel_path)) return;
+  const std::set<std::string> names = collect_unordered_names(code);
+  for (std::size_t ln = 0; ln < code.size(); ++ln) {
+    const std::string& line = code[ln];
+    std::string hit;
+    const std::string range = range_for_expr(line);
+    if (!range.empty()) {
+      if (range.find("unordered_") != std::string::npos) {
+        hit = trim(range);
+      } else {
+        for (const std::string& name : names) {
+          if (find_word(range, name) != std::string::npos) {
+            hit = name;
+            break;
+          }
+        }
+      }
+    }
+    if (hit.empty()) {
+      for (const std::string& name : names) {
+        // Only begin()/cbegin(): iteration always needs one, while a bare
+        // .end() is the ubiquitous (and order-safe) find() membership idiom.
+        for (const char* m : {".begin(", ".cbegin("}) {
+          const std::size_t p = line.find(name + m);
+          if (p != std::string::npos &&
+              (p == 0 || !is_ident_char(line[p - 1]))) {
+            hit = name;
+            break;
+          }
+        }
+        if (!hit.empty()) break;
+      }
+    }
+    if (!hit.empty()) {
+      out->push_back({rel_path, static_cast<int>(ln + 1), "SV001",
+                      "iteration over unordered container '" + hit +
+                          "' in an ordered-output context",
+                      false});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-driven rules (SV002..SV006)
+// ---------------------------------------------------------------------------
+
+struct RegexRule {
+  const char* id;
+  std::regex re;
+  const char* message;
+};
+
+const std::vector<RegexRule>& regex_rules() {
+  static const std::vector<RegexRule> rules = [] {
+    std::vector<RegexRule> r;
+    r.push_back({"SV002",
+                 std::regex(R"((^|[^\w.])s?rand\s*\()"),
+                 "call to rand()/srand(); use a seeded sv::Rng"});
+    r.push_back({"SV003", std::regex(R"(\brandom_device\b)"),
+                 "std::random_device is nondeterministic; use a seeded "
+                 "sv::Rng"});
+    r.push_back(
+        {"SV004",
+         std::regex(
+             R"(std\s*::\s*chrono\s*::\s*(system_clock|steady_clock|high_resolution_clock))"),
+         "wall-clock read in simulation code; only src/harness may measure "
+         "real time"});
+    r.push_back({"SV004",
+                 std::regex(
+                     R"(\b(gettimeofday|clock_gettime)\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\))"),
+                 "wall-clock read in simulation code; only src/harness may "
+                 "measure real time"});
+    r.push_back({"SV006",
+                 std::regex(R"((\+=|-=)[^;]*\.(us|ms|sec)\(\))"),
+                 "accumulating floating-point time; accumulate integer "
+                 ".ns() or SimTime instead"});
+    r.push_back({"SV006",
+                 std::regex(
+                     R"(SimTime\s*\(\s*static_cast<[^>]*>\s*\([^;]*\.(us|ms|sec)\(\))"),
+                 "SimTime rebuilt from a floating-point time expression; "
+                 "keep time in integer nanoseconds"});
+    return r;
+  }();
+  return rules;
+}
+
+void check_regex_rules(const std::string& rel_path,
+                       const std::vector<std::string>& code,
+                       std::vector<Finding>* out) {
+  const bool skip_wall_clock = wall_clock_allowed(rel_path);
+  for (std::size_t ln = 0; ln < code.size(); ++ln) {
+    for (const RegexRule& rule : regex_rules()) {
+      if (skip_wall_clock && std::string(rule.id) == "SV004") continue;
+      if (std::regex_search(code[ln], rule.re)) {
+        out->push_back({rel_path, static_cast<int>(ln + 1), rule.id,
+                        rule.message, false});
+      }
+    }
+  }
+}
+
+// SV005: pointer-keyed ordered containers.
+void check_sv005(const std::string& rel_path,
+                 const std::vector<std::string>& code,
+                 std::vector<Finding>* out) {
+  for (std::size_t ln = 0; ln < code.size(); ++ln) {
+    const std::string& line = code[ln];
+    for (const char* kw : {"map", "set", "multimap", "multiset", "less",
+                           "greater"}) {
+      for (std::size_t pos = find_word(line, kw); pos != std::string::npos;
+           pos = find_word(line, kw, pos + 1)) {
+        // Require a std:: qualifier so member names like "bitset" or local
+        // types called "map" don't trip the rule.
+        const std::size_t qual = line.rfind("std", pos);
+        if (qual == std::string::npos ||
+            trim(line.substr(qual + 3, pos - qual - 3)) != "::") {
+          continue;
+        }
+        std::size_t i = pos + std::string(kw).size();
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        if (i >= line.size() || line[i] != '<') continue;
+        // First template argument: up to a depth-1 comma or the closer.
+        int depth = 0;
+        std::string arg;
+        for (std::size_t j = i; j < line.size(); ++j) {
+          const char c = line[j];
+          if (c == '<') {
+            ++depth;
+            if (depth == 1) continue;
+          }
+          if (c == '>') {
+            --depth;
+            if (depth == 0) break;
+          }
+          if (c == ',' && depth == 1) break;
+          if (depth >= 1) arg += c;
+        }
+        const std::string key = trim(arg);
+        if (!key.empty() && key.back() == '*') {
+          out->push_back(
+              {rel_path, static_cast<int>(ln + 1), "SV005",
+               "ordered container keyed by pointer type '" + key +
+                   "': iteration order depends on allocation addresses",
+               false});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+std::vector<Finding> scan_source(const std::string& rel_path,
+                                 const std::string& text) {
+  const StrippedSource src = strip(text);
+  std::vector<Finding> findings;
+  check_sv001(rel_path, src.code, &findings);
+  check_regex_rules(rel_path, src.code, &findings);
+  check_sv005(rel_path, src.code, &findings);
+
+  // Apply suppressions: an allow on the finding's line or the line above.
+  for (Finding& f : findings) {
+    const auto idx = static_cast<std::size_t>(f.line - 1);
+    const auto allowed = [&](std::size_t i) {
+      return i < src.allows.size() && src.allows[i].count(f.rule) != 0;
+    };
+    if (allowed(idx) || (idx > 0 && allowed(idx - 1))) f.suppressed = true;
+  }
+
+  // Stable order: by line, then rule id.
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return findings;
+}
+
+std::vector<Finding> scan_file(const std::filesystem::path& root,
+                               const std::string& rel_path) {
+  std::ifstream in(root / rel_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("svlint: cannot read " +
+                             (root / rel_path).string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return scan_source(rel_path, ss.str());
+}
+
+}  // namespace sv::lint

@@ -1,0 +1,54 @@
+// svlint: a determinism-hazard checker for the socketvia source tree.
+//
+// The simulator's contract (DESIGN.md §8) is that every seeded experiment is
+// bit-identical across runs and platforms. That contract is easy to break
+// silently: iterating an unordered container in an ordered-output context,
+// reading a wall clock inside simulation code, or accumulating simulated
+// time through floating point all produce runs that *look* fine but are no
+// longer reproducible. svlint scans the source tree for those hazard
+// patterns before they reach CI.
+//
+// svlint is a lexical checker, not a compiler plugin: it strips comments and
+// string literals, then applies per-rule pattern matching. That keeps it
+// dependency-free and fast, at the cost of needing a suppression escape
+// hatch for false positives:
+//
+//   do_hazardous_thing();  // svlint:allow(SV002): justification here
+//
+// (on the offending line or the line directly above it).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace sv::lint {
+
+struct Finding {
+  std::string rel_path;  // path relative to the scan root, '/'-separated
+  int line = 0;          // 1-based
+  std::string rule;      // e.g. "SV001"
+  std::string message;
+  bool suppressed = false;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The rule table, in id order.
+const std::vector<RuleInfo>& rules();
+
+/// Scans one file's contents. `rel_path` must be the '/'-separated path
+/// relative to the repository root; several rules are path-scoped (SV001
+/// only fires in ordered-output directories, SV004 has an allowlist).
+std::vector<Finding> scan_source(const std::string& rel_path,
+                                 const std::string& text);
+
+/// Reads `root / rel_path` and scans it. Throws std::runtime_error if the
+/// file cannot be read.
+std::vector<Finding> scan_file(const std::filesystem::path& root,
+                               const std::string& rel_path);
+
+}  // namespace sv::lint
