@@ -16,17 +16,17 @@ using namespace sv::literals;
 
 namespace {
 
-struct Result {
+struct Measurement {
   double latency_us;
   double bandwidth_mbps;
 };
 
-Result measure(net::Transport transport) {
+Measurement measure(net::Transport transport) {
   sim::Simulation s;                       // the simulated world
   net::Cluster cluster(&s, 2);             // two dual-CPU nodes
   sockets::SocketFactory factory(&s, &cluster);
 
-  Result out{};
+  Measurement out{};
   s.spawn("app", [&] {
     auto [a, b] = factory.connect(0, 1, transport);
 
@@ -60,8 +60,8 @@ Result measure(net::Transport transport) {
 }  // namespace
 
 int main() {
-  const Result tcp = measure(net::Transport::kKernelTcp);
-  const Result svia = measure(net::Transport::kSocketVia);
+  const Measurement tcp = measure(net::Transport::kKernelTcp);
+  const Measurement svia = measure(net::Transport::kSocketVia);
   std::printf("transport   latency (us)   bandwidth (Mbps)\n");
   std::printf("TCP         %8.2f      %10.1f\n", tcp.latency_us,
               tcp.bandwidth_mbps);

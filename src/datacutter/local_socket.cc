@@ -39,6 +39,23 @@ std::optional<net::Message> LocalSocket::try_recv() {
   return m;
 }
 
+sv::Result<std::optional<net::Message>> LocalSocket::recv_for(
+    SimTime timeout) {
+  auto r = in_->recv_for(timeout);
+  if (r.ok() && r.value()) {
+    stats_.messages_received++;
+    stats_.bytes_received += r.value()->bytes;
+  }
+  return r;
+}
+
+sv::Result<void> LocalSocket::send_for(net::Message m, SimTime /*timeout*/) {
+  // The hand-off queue is unbounded: a same-host send never blocks on the
+  // peer, so the timeout cannot trip.
+  send(std::move(m));
+  return sv::Result<void>::success();
+}
+
 void LocalSocket::close_send() {
   if (!out_->closed()) out_->close();
 }

@@ -28,6 +28,9 @@ struct Runtime::Core {
   sim::Simulation* sim;
   RuntimeOptions options;
   sim::Channel<UowCompletion> completions;
+  /// Copies whose run loop has not finished yet; the last one out closes
+  /// `completions` so timed waiters see kClosed rather than a timeout.
+  std::size_t live_copies = 0;
   // distribution counters: [stream][producer copy][consumer copy]
   std::vector<std::vector<std::vector<std::uint64_t>>> distribution;
 };
@@ -120,7 +123,16 @@ class Runtime::ContextImpl final : public FilterContext {
       }
 
       // 3. Block for the next fan-in item.
-      auto item = port.merged->recv();
+      std::optional<CopyState::InPort::Item> item;
+      if (core_->options.io_timeout > SimTime::zero()) {
+        auto r = port.merged->recv_for(core_->options.io_timeout);
+        if (!r.ok()) {
+          throw std::runtime_error(copy_label() + ": " + r.error().message);
+        }
+        item = std::move(r.value());
+      } else {
+        item = port.merged->recv();
+      }
       if (!item) return std::nullopt;  // defensive: merged never closes
       if (!item->msg) {
         if (port.eow[item->ep]) {
@@ -163,7 +175,21 @@ class Runtime::ContextImpl final : public FilterContext {
             port.unacked[target] < core_->options.dd_max_unacked) {
           break;
         }
-        port.ack_wait->wait();
+        // Every consumer copy is at the outstanding-buffer cap. With an
+        // i/o deadline, a cluster-wide wedge (all consumers stalled)
+        // surfaces as an error instead of blocking this copy forever.
+        const SimTime io = core_->options.io_timeout;
+        if (io > SimTime::zero()) {
+          if (!port.ack_wait->wait_for(io) &&
+              port.unacked[target] >= core_->options.dd_max_unacked) {
+            throw std::runtime_error(
+                copy_label() +
+                ": demand-driven write timed out with every consumer at "
+                "the unacknowledged-buffer cap");
+          }
+        } else {
+          port.ack_wait->wait();
+        }
       }
     }
     buffer.uow_id = current_uow_.id;
@@ -173,7 +199,7 @@ class Runtime::ContextImpl final : public FilterContext {
     msg.tag = encode_tag(kKindData, current_uow_.id);
     msg.payload = buffer.payload;
     msg.meta = std::move(buffer);
-    port.socks[target]->send(std::move(msg));
+    timed_send(*port.socks[target], std::move(msg));
     ++port.unacked[target];
     ++core_->distribution[port.stream_idx][cs_->copy][target];
   }
@@ -209,7 +235,7 @@ class Runtime::ContextImpl final : public FilterContext {
         net::Message m;
         m.bytes = core_->options.marker_bytes;
         m.tag = encode_tag(kKindMarker, current_uow_.id);
-        sock->send(std::move(m));
+        timed_send(*sock, std::move(m));
       }
     }
   }
@@ -219,6 +245,20 @@ class Runtime::ContextImpl final : public FilterContext {
   }
 
  private:
+  [[nodiscard]] std::string copy_label() const {
+    return "DataCutter[" + cs_->spec->name + std::to_string(cs_->copy) + "]";
+  }
+
+  /// Send honouring RuntimeOptions::io_timeout; a timed-out transport
+  /// (stalled peer) kills this filter process with a descriptive error
+  /// rather than hanging it.
+  void timed_send(sockets::SvSocket& sock, net::Message m) {
+    auto r = sock.send_for(std::move(m), core_->options.io_timeout);
+    if (!r.ok()) {
+      throw std::runtime_error(copy_label() + ": " + r.error().message);
+    }
+  }
+
   std::optional<DataBuffer> handle(CopyState::InPort& port, std::size_t ep,
                                    net::Message msg) {
     const auto kind = tag_kind(msg.tag);
@@ -238,7 +278,7 @@ class Runtime::ContextImpl final : public FilterContext {
       net::Message ack;
       ack.bytes = core_->options.ack_bytes;
       ack.tag = encode_tag(kKindAck, uow_id);
-      port.socks[ep]->send(std::move(ack));
+      timed_send(*port.socks[ep], std::move(ack));
     }
     core_->sim->delay(core_->options.read_overhead);
     return std::any_cast<DataBuffer>(std::move(msg.meta));
@@ -390,6 +430,7 @@ void Runtime::start() {
   }
 
   // Filter-copy processes.
+  core_->live_copies = copies_.size();
   for (const auto& cs : copies_) {
     cs->ctx = std::make_unique<ContextImpl>(cs.get());
     sim_->spawn(cs->spec->name + std::to_string(cs->copy),
@@ -429,6 +470,7 @@ void Runtime::run_copy(const std::shared_ptr<CopyState>& cs) {
   for (auto& port : cs->outputs) {
     for (auto& sock : port.socks) sock->close_send();
   }
+  if (--core.live_copies == 0) core.completions.close();
 }
 
 void Runtime::submit(Uow uow) {
@@ -446,6 +488,15 @@ void Runtime::close_input() {
 
 std::optional<UowCompletion> Runtime::wait_completion() {
   return core_->completions.recv();
+}
+
+Result<UowCompletion> Runtime::wait_completion_for(SimTime timeout) {
+  auto r = core_->completions.recv_for(timeout);
+  if (!r.ok()) return r.error();
+  if (!r.value()) {
+    return Error::closed("Runtime: completion stream closed");
+  }
+  return std::move(*r.value());
 }
 
 std::vector<std::vector<std::uint64_t>> Runtime::distribution(

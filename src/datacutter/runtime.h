@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "datacutter/group.h"
 #include "sockets/factory.h"
 
@@ -37,6 +38,14 @@ struct RuntimeOptions {
   /// unacknowledged buffers at every consumer (DataCutter's per-stream
   /// buffer pool). 0 = unbounded.
   std::int64_t dd_max_unacked = 4;
+  /// I/O deadline for the runtime's blocking paths (stream writes, DD ack
+  /// waits, acks/markers, and the filter read path). 0 = wait forever (the
+  /// historical behaviour). With a nonzero deadline, a peer that stops
+  /// making progress — e.g. a node stalled by a FaultPlan — surfaces as a
+  /// thrown runtime error in the stuck filter process (rethrown by
+  /// Simulation::run) instead of a silent hang; pair with
+  /// Runtime::wait_completion_for for a Result at the application level.
+  SimTime io_timeout = SimTime::zero();
 };
 
 /// Emitted when a sink filter copy completes a unit of work.
@@ -70,6 +79,12 @@ class Runtime {
 
   /// Blocking wait (from a process) for the next sink-side completion.
   std::optional<UowCompletion> wait_completion();
+
+  /// Timed wait: ErrorCode::kTimeout if no completion lands within
+  /// `timeout` (<= 0 = wait forever), ErrorCode::kClosed after the
+  /// completion stream ends. The clean way to bound an experiment that
+  /// might be wedged on a faulty cluster.
+  Result<UowCompletion> wait_completion_for(SimTime timeout);
 
   /// Number of buffers each producer copy sent to each consumer copy on
   /// stream `stream_idx` (scheduling diagnostics).

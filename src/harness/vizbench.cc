@@ -16,6 +16,12 @@ viz::VizConfig make_app_config(const VizWorkloadConfig& cfg) {
   return app;
 }
 
+// No-op for the default (empty) plan, so fault-free configs keep their
+// historical digests.
+void install_faults(net::Cluster& cluster, const VizWorkloadConfig& cfg) {
+  cluster.install_faults(cfg.faults, cfg.seed);
+}
+
 }  // namespace
 
 PacedResult run_paced_updates(const VizWorkloadConfig& cfg, double target_ups,
@@ -25,6 +31,7 @@ PacedResult run_paced_updates(const VizWorkloadConfig& cfg, double target_ups,
 
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.cluster_nodes);
+  install_faults(cluster, cfg);
   sockets::SocketFactory factory(&s, &cluster);
   viz::VizApp update_app(&s, &cluster, &factory, make_app_config(cfg));
   viz::VizApp probe_app(&s, &cluster, &factory, make_app_config(cfg));
@@ -96,6 +103,7 @@ SaturationResult run_saturation(const VizWorkloadConfig& cfg, int updates,
 
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.cluster_nodes);
+  install_faults(cluster, cfg);
   sockets::SocketFactory factory(&s, &cluster);
   viz::VizApp app(&s, &cluster, &factory, make_app_config(cfg));
   app.start();
@@ -136,6 +144,7 @@ Samples run_query_mix(const VizWorkloadConfig& cfg, double complete_fraction,
   Samples responses;
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.cluster_nodes);
+  install_faults(cluster, cfg);
   sockets::SocketFactory factory(&s, &cluster);
   viz::VizApp app(&s, &cluster, &factory, make_app_config(cfg));
   app.start();
@@ -163,6 +172,7 @@ Samples run_query_mix(const VizWorkloadConfig& cfg, double complete_fraction,
 SimTime measure_idle_partial_latency(const VizWorkloadConfig& cfg) {
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.cluster_nodes);
+  install_faults(cluster, cfg);
   sockets::SocketFactory factory(&s, &cluster);
   viz::VizApp app(&s, &cluster, &factory, make_app_config(cfg));
   app.start();

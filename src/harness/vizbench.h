@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "datacutter/group.h"
 #include "net/calibration.h"
+#include "net/fault.h"
 #include "vizapp/query.h"
 
 namespace sv::harness {
@@ -31,6 +32,11 @@ struct VizWorkloadConfig {
   PerByteCost compute = PerByteCost::zero();
   int cluster_nodes = 16;
   std::uint64_t seed = 1;
+  /// Fault injection (frame loss, jitter, node stalls), installed on the
+  /// cluster before the apps start. Defaults to no faults; every fault
+  /// decision derives from `seed`, so (config, seed) still pins the
+  /// trace digest bit-for-bit.
+  net::FaultPlan faults = net::FaultPlan::none();
 };
 
 /// Figure 7 point: run complete updates at `target_ups` while probing with

@@ -1,5 +1,7 @@
 #include "net/cluster.h"
 
+#include "common/check.h"
+
 namespace sv::net {
 
 Node::Node(sim::Simulation* sim, int id, const NodeConfig& cfg)
@@ -13,7 +15,11 @@ Node::Node(sim::Simulation* sim, int id, const NodeConfig& cfg)
       rx_proto_(sim, 1, name_ + ".rx_proto") {}
 
 void Node::compute(SimTime work) {
-  cpu_.use(work * cfg_.slow_factor);
+  std::int64_t factor = cfg_.slow_factor;
+  if (injector_ != nullptr) {
+    factor *= injector_->compute_factor(id_, sim_->now());
+  }
+  cpu_.use(work * factor);
 }
 
 Cluster::Cluster(sim::Simulation* sim, int node_count, const NodeConfig& cfg)
@@ -21,6 +27,37 @@ Cluster::Cluster(sim::Simulation* sim, int node_count, const NodeConfig& cfg)
   nodes_.reserve(static_cast<std::size_t>(node_count));
   for (int i = 0; i < node_count; ++i) {
     nodes_.push_back(std::make_unique<Node>(sim, i, cfg));
+  }
+}
+
+void Cluster::install_faults(const FaultPlan& plan, std::uint64_t seed) {
+  SV_ASSERT(injector_ == nullptr, "Cluster::install_faults called twice");
+  if (!plan.enabled()) return;
+  injector_ = std::make_unique<FaultInjector>(plan, seed);
+  for (auto& n : nodes_) {
+    n->set_fault_injector(injector_.get());
+  }
+  for (const NodeFault& nf : plan.nodes) {
+    if (!nf.is_stall()) continue;  // slowdowns apply via Node::compute
+    SV_ASSERT(nf.node >= 0 &&
+                  static_cast<std::size_t>(nf.node) < nodes_.size(),
+              "FaultPlan stall window names an unknown node");
+    Node& node = *nodes_[static_cast<std::size_t>(nf.node)];
+    // One holder process per resource: each grabs every capacity unit for
+    // the window, so compute, sends, inbound DMA and protocol processing
+    // all stall — exactly what a hung host looks like to its peers.
+    sim::Resource* resources[] = {&node.cpu(), &node.tx_host(),
+                                  &node.link_in(), &node.rx_proto()};
+    for (sim::Resource* res : resources) {
+      sim_->spawn(
+          node.name() + ".stall", [sim = sim_, nf, res] {
+            if (nf.start > sim->now()) sim->delay(nf.start - sim->now());
+            const std::int64_t units = res->capacity();
+            for (std::int64_t k = 0; k < units; ++k) res->acquire();
+            sim->delay(nf.duration);
+            for (std::int64_t k = 0; k < units; ++k) res->release();
+          });
+    }
   }
 }
 

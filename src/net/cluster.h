@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
 
@@ -41,8 +42,14 @@ class Node {
   [[nodiscard]] const NodeConfig& config() const { return cfg_; }
 
   /// Runs `work` of computation on this node (blocks the calling process
-  /// for the scaled duration while holding a core).
+  /// for the scaled duration while holding a core). Any active fault-plan
+  /// slowdown window multiplies the duration.
   void compute(SimTime work);
+
+  /// The cluster's fault injector, or nullptr when no faults are installed.
+  /// Transports crossing this node consult it per frame.
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   sim::Resource& cpu() { return cpu_; }
   sim::Resource& tx_host() { return tx_host_; }
@@ -54,6 +61,7 @@ class Node {
   int id_;
   NodeConfig cfg_;
   std::string name_;
+  FaultInjector* injector_ = nullptr;
   sim::Resource cpu_;
   sim::Resource tx_host_;
   sim::Resource link_in_;
@@ -69,9 +77,23 @@ class Cluster {
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] sim::Simulation& sim() { return *sim_; }
 
+  /// Installs a fault plan: every node gets a pointer to the (seeded)
+  /// injector, and each full-stall window in the plan spawns holder
+  /// processes that pin the node's resources for the window's duration, so
+  /// all transports through the node stall naturally. A disabled plan is a
+  /// no-op (the baseline event schedule is untouched). Call at most once,
+  /// before traffic starts.
+  void install_faults(const FaultPlan& plan, std::uint64_t seed);
+
+  /// The installed injector, or nullptr.
+  [[nodiscard]] FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+
  private:
   sim::Simulation* sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace sv::net

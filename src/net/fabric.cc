@@ -52,10 +52,17 @@ SimTime Pipe::State::recv_frame_time(const Frame& f) const {
 }
 
 void Pipe::send(Message m) {
+  // timeout <= 0 waits forever, so the result is always ok.
+  (void)send_for(std::move(m), SimTime::zero());
+}
+
+Result<void> Pipe::send_for(Message m, SimTime timeout) {
   State& st = *st_;
   if (st.closed) {
     throw std::logic_error("Pipe[" + st.name + "]::send after close");
   }
+  const bool timed = timeout > SimTime::zero();
+  const SimTime deadline = st.sim->now() + timeout;
   m.seq = st.next_seq++;
   m.sent_at = st.sim->now();
   ++st.sent_count;
@@ -73,7 +80,20 @@ void Pipe::send(Message m) {
     // always admitted when nothing is in flight, guaranteeing progress).
     while (st.in_flight_bytes > 0 &&
            st.in_flight_bytes + flen > st.profile.window_bytes) {
-      st.window_waiters.wait();
+      if (!timed) {
+        st.window_waiters.wait();
+        continue;
+      }
+      const SimTime left = deadline - st.sim->now();
+      if (left > SimTime::zero() && st.window_waiters.wait_for(left)) {
+        continue;
+      }
+      if (st.in_flight_bytes > 0 &&
+          st.in_flight_bytes + flen > st.profile.window_bytes) {
+        return Error::timeout("Pipe[" + st.name +
+                              "]: send timed out with the flow-control "
+                              "window closed (receiver stalled?)");
+      }
     }
     st.in_flight_bytes += flen;
     Frame f;
@@ -87,6 +107,7 @@ void Pipe::send(Message m) {
     if (last) break;
     first = false;
   }
+  return Result<void>::success();
 }
 
 void Pipe::close() {
@@ -99,6 +120,10 @@ void Pipe::close() {
 }
 
 std::optional<Message> Pipe::recv() { return st_->delivered.recv(); }
+
+Result<std::optional<Message>> Pipe::recv_for(SimTime timeout) {
+  return st_->delivered.recv_for(timeout);
+}
 
 std::optional<Message> Pipe::try_recv() { return st_->delivered.try_recv(); }
 
@@ -118,12 +143,31 @@ std::uint64_t Pipe::messages_sent() const { return st_->sent_count; }
 
 std::uint64_t Pipe::bytes_sent() const { return st_->bytes_sent; }
 
+std::uint64_t Pipe::frames_retransmitted() const {
+  return st_->frames_retransmitted;
+}
+
 void Pipe::State::wire_loop() {
   while (auto f = to_wire.recv()) {
     const bool eof = f->eof;
     // Inbound link / DMA occupancy at the destination (EOF is free).
     if (!eof) {
       dst->link_in().use(model.wire_time(f->bytes));
+      if (FaultInjector* inj = src->fault_injector()) {
+        FaultDecision d = inj->on_frame(src->id(), dst->id());
+        while (d.drop) {
+          // Lost on the wire. The fast fabric models the transport *after*
+          // recovery, so charge the recovery pause plus a full re-crossing
+          // and keep delivery reliable and in-order.
+          ++frames_retransmitted;
+          sim->delay(d.recovery_delay);
+          dst->link_in().use(model.wire_time(f->bytes));
+          d = inj->on_frame(src->id(), dst->id());
+        }
+        // Jitter is occupancy on this stage (not added propagation) so
+        // frames cannot reorder; the pipe's in-order contract holds.
+        if (d.extra_delay > SimTime::zero()) sim->delay(d.extra_delay);
+      }
     }
     // Propagation is latency, not occupancy: hand off without blocking this
     // stage so back-to-back frames overlap their flight time. EOF takes the

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "net/calibration.h"
 #include "net/cluster.h"
 #include "net/cost_model.h"
@@ -65,8 +66,17 @@ class Pipe {
   /// paper's applications use).
   void send(Message m);
 
+  /// Timed send: like send(), but a wait on the flow-control window gives
+  /// up after `timeout` (<= 0 = wait forever) with ErrorCode::kTimeout.
+  /// Frames already admitted stay in flight, so a timed-out pipe must be
+  /// treated as failed by the caller.
+  Result<void> send_for(Message m, SimTime timeout);
+
   /// Blocking receive; nullopt after close() once drained.
   std::optional<Message> recv();
+  /// Timed receive; ok(nullopt) means closed-and-drained, kTimeout means
+  /// nothing was deliverable within `timeout` (<= 0 = wait forever).
+  Result<std::optional<Message>> recv_for(SimTime timeout);
   /// Non-blocking receive.
   std::optional<Message> try_recv();
   /// Number of fully-delivered messages waiting in the receive queue.
@@ -85,6 +95,10 @@ class Pipe {
   /// Totals for reporting.
   [[nodiscard]] std::uint64_t messages_sent() const;
   [[nodiscard]] std::uint64_t bytes_sent() const;
+  /// Frames internally re-sent after fault-injected wire loss. The fast
+  /// fabric stays reliable and in-order: a lost frame costs the link's
+  /// recovery_delay plus a second wire crossing (see net/fault.h).
+  [[nodiscard]] std::uint64_t frames_retransmitted() const;
 
  private:
   struct Frame {
@@ -116,6 +130,7 @@ class Pipe {
     std::uint64_t next_seq = 0;
     std::uint64_t sent_count = 0;
     std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_retransmitted = 0;
     bool closed = false;
 
     std::uint64_t in_flight_bytes = 0;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/result.h"
 #include "sim/simulation.h"
 
 namespace sv::sim {
@@ -79,7 +80,8 @@ template <typename T>
 class Channel {
  public:
   Channel(Simulation* sim, std::size_t capacity, std::string name = "chan")
-      : capacity_(capacity),
+      : sim_(sim),
+        capacity_(capacity),
         name_(std::move(name)),
         senders_(sim, name_ + ".send"),
         receivers_(sim, name_ + ".recv") {}
@@ -117,6 +119,27 @@ class Channel {
     return item;
   }
 
+  /// Timed receive: like recv() but gives up after `timeout` with an
+  /// ErrorCode::kTimeout error. ok(nullopt) still means closed-and-drained;
+  /// `timeout` <= 0 means wait forever.
+  Result<std::optional<T>> recv_for(SimTime timeout) {
+    if (timeout <= SimTime::zero()) return recv();
+    const SimTime deadline = sim_->now() + timeout;
+    while (items_.empty() && !closed_) {
+      const SimTime remaining = deadline - sim_->now();
+      if (remaining <= SimTime::zero() || !receivers_.wait_for(remaining)) {
+        if (!items_.empty() || closed_) break;  // raced with a late arrival
+        return Error::timeout("Channel[" + name_ + "]: recv timed out after " +
+                              timeout.to_string());
+      }
+    }
+    if (items_.empty()) return std::optional<T>{};  // closed and drained
+    std::optional<T> item = std::move(items_.front());
+    items_.pop_front();
+    senders_.notify_one();
+    return item;
+  }
+
   /// Non-blocking receive.
   std::optional<T> try_recv() {
     if (items_.empty()) return std::nullopt;
@@ -139,6 +162,7 @@ class Channel {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
+  Simulation* sim_;
   std::size_t capacity_;
   std::string name_;
   std::deque<T> items_;

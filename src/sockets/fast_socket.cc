@@ -37,6 +37,25 @@ std::optional<net::Message> FastSocket::try_recv() {
   return m;
 }
 
+Result<std::optional<net::Message>> FastSocket::recv_for(SimTime timeout) {
+  auto r = in_->recv_for(timeout);
+  if (r.ok() && r.value()) {
+    stats_.messages_received++;
+    stats_.bytes_received += r.value()->bytes;
+  }
+  return r;
+}
+
+Result<void> FastSocket::send_for(net::Message m, SimTime timeout) {
+  const std::uint64_t bytes = m.bytes;
+  auto r = out_->send_for(std::move(m), timeout);
+  if (r.ok()) {
+    stats_.messages_sent++;
+    stats_.bytes_sent += bytes;
+  }
+  return r;
+}
+
 void FastSocket::close_send() { out_->close(); }
 
 }  // namespace sv::sockets

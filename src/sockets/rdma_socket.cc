@@ -128,6 +128,20 @@ net::Node& RdmaPushSocket::local_node() const { return mine().nic->node(); }
 std::uint32_t RdmaPushSocket::available_slots() const { return mine().slots; }
 
 void RdmaPushSocket::send(net::Message m) {
+  (void)send_impl(std::move(m), /*timed=*/false, SimTime::zero());
+}
+
+Result<void> RdmaPushSocket::send_for(net::Message m, SimTime timeout) {
+  if (timeout <= SimTime::zero()) {
+    send(std::move(m));
+    return Result<void>::success();
+  }
+  return send_impl(std::move(m), /*timed=*/true,
+                   state_->sim->now() + timeout);
+}
+
+Result<void> RdmaPushSocket::send_impl(net::Message m, bool timed,
+                                       SimTime deadline) {
   Side& me = mine();
   Side& peer = state_->sides[static_cast<std::size_t>(1 - side_)];
   if (me.send_closed) {
@@ -148,7 +162,19 @@ void RdmaPushSocket::send(net::Message m) {
   std::uint64_t remaining = total;
   for (std::uint64_t i = 0; i < nchunks; ++i) {
     while (me.slots == 0) {
-      me.slot_wait.wait();
+      if (!timed) {
+        me.slot_wait.wait();
+        continue;
+      }
+      const SimTime left = deadline - state_->sim->now();
+      if (left > SimTime::zero() && me.slot_wait.wait_for(left)) {
+        continue;
+      }
+      if (me.slots == 0) {
+        return Error::timeout(
+            "RdmaPushSocket: slot stall — receiver returned no ring slots "
+            "before the send deadline");
+      }
     }
     --me.slots;
     const std::uint64_t len = std::min(remaining, slot_bytes);
@@ -170,6 +196,7 @@ void RdmaPushSocket::send(net::Message m) {
     while (me.vi->send_cq().poll()) {
     }
   }
+  return Result<void>::success();
 }
 
 std::optional<net::Message> RdmaPushSocket::recv() {
@@ -179,6 +206,16 @@ std::optional<net::Message> RdmaPushSocket::recv() {
     stats_.bytes_received += m->bytes;
   }
   return m;
+}
+
+Result<std::optional<net::Message>> RdmaPushSocket::recv_for(
+    SimTime timeout) {
+  auto r = mine().delivered.recv_for(timeout);
+  if (r.ok() && r.value()) {
+    stats_.messages_received++;
+    stats_.bytes_received += r.value()->bytes;
+  }
+  return r;
 }
 
 std::optional<net::Message> RdmaPushSocket::try_recv() {

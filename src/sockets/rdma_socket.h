@@ -41,6 +41,10 @@ class RdmaPushSocket final : public SvSocket {
   void send(net::Message m) override;
   std::optional<net::Message> recv() override;
   std::optional<net::Message> try_recv() override;
+  Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
+  /// Timed send with slot-stall detection (the ring analogue of the
+  /// SocketVIA credit stall: a stalled receiver stops returning slots).
+  Result<void> send_for(net::Message m, SimTime timeout) override;
   void close_send() override;
 
   [[nodiscard]] net::Transport transport() const override {
@@ -98,6 +102,8 @@ class RdmaPushSocket final : public SvSocket {
 
   RdmaPushSocket(std::shared_ptr<PairState> state, int side)
       : state_(std::move(state)), side_(side) {}
+
+  Result<void> send_impl(net::Message m, bool timed, SimTime deadline);
 
   [[nodiscard]] Side& mine() const {
     return state_->sides[static_cast<std::size_t>(side_)];

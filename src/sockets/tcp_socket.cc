@@ -66,6 +66,53 @@ std::optional<net::Message> DetailedTcpSocket::recv() {
   return m;
 }
 
+Result<std::optional<net::Message>> DetailedTcpSocket::recv_for(
+    SimTime timeout) {
+  if (timeout <= SimTime::zero()) return recv();
+  const SimTime deadline = conn_->stack().sim().now() + timeout;
+  while (incoming_->metas.empty()) {
+    const SimTime left = deadline - conn_->stack().sim().now();
+    if (left <= SimTime::zero() ||
+        !incoming_->meta_available.wait_for(left)) {
+      if (!incoming_->metas.empty()) break;  // raced with a late arrival
+      return Error::timeout("DetailedTcpSocket: recv timed out");
+    }
+  }
+  if (is_eof_marker(incoming_->metas.front())) {
+    peer_closed_ = true;
+    return std::optional<net::Message>{};
+  }
+  // Drain the frame with the remaining budget; the meta entry is consumed
+  // only on success so a timed-out socket fails loudly, not subtly.
+  const std::uint64_t frame = kHeaderBytes + incoming_->metas.front().bytes;
+  const SimTime left = deadline - conn_->stack().sim().now();
+  if (left <= SimTime::zero()) {
+    return Error::timeout("DetailedTcpSocket: recv timed out");
+  }
+  auto drained = conn_->recv_exact_for(frame, left);
+  if (!drained.ok()) return drained.error();
+  net::Message m = std::move(incoming_->metas.front());
+  incoming_->metas.pop_front();
+  m.delivered_at = conn_->stack().sim().now();
+  stats_.messages_received++;
+  stats_.bytes_received += m.bytes;
+  return std::optional<net::Message>(std::move(m));
+}
+
+Result<void> DetailedTcpSocket::send_for(net::Message m, SimTime timeout) {
+  if (timeout <= SimTime::zero()) {
+    send(std::move(m));
+    return Result<void>::success();
+  }
+  stats_.messages_sent++;
+  stats_.bytes_sent += m.bytes;
+  m.sent_at = conn_->stack().sim().now();
+  const std::uint64_t frame = kHeaderBytes + m.bytes;
+  outgoing_->metas.push_back(std::move(m));
+  outgoing_->meta_available.notify_all();
+  return conn_->send_for(frame, timeout);
+}
+
 std::optional<net::Message> DetailedTcpSocket::try_recv() {
   if (incoming_->metas.empty()) return std::nullopt;
   if (is_eof_marker(incoming_->metas.front())) return std::nullopt;

@@ -146,6 +146,21 @@ std::uint64_t DetailedViaSocket::credit_updates_sent() const {
 }
 
 void DetailedViaSocket::send(net::Message m) {
+  // Untimed: the credit wait can only end with credits, so always ok.
+  (void)send_impl(std::move(m), /*timed=*/false, SimTime::zero());
+}
+
+Result<void> DetailedViaSocket::send_for(net::Message m, SimTime timeout) {
+  if (timeout <= SimTime::zero()) {
+    send(std::move(m));
+    return Result<void>::success();
+  }
+  return send_impl(std::move(m), /*timed=*/true,
+                   state_->sim->now() + timeout);
+}
+
+Result<void> DetailedViaSocket::send_impl(net::Message m, bool timed,
+                                          SimTime deadline) {
   Side& me = mine();
   if (me.send_closed) {
     throw std::logic_error("DetailedViaSocket::send after close");
@@ -169,7 +184,22 @@ void DetailedViaSocket::send(net::Message m) {
   std::uint64_t remaining = total;
   for (std::uint64_t i = 0; i < nchunks; ++i) {
     while (me.credits == 0) {
-      me.credit_wait.wait();
+      if (!timed) {
+        me.credit_wait.wait();
+        continue;
+      }
+      // Credit-stall detection: a receiver that stops consuming (stalled
+      // node, wedged filter) stops returning credits; bail out cleanly
+      // instead of blocking this process forever.
+      const SimTime left = deadline - state_->sim->now();
+      if (left > SimTime::zero() && me.credit_wait.wait_for(left)) {
+        continue;
+      }
+      if (me.credits == 0) {
+        return Error::timeout(
+            "SocketVIA: credit stall — receiver returned no credits "
+            "before the send deadline");
+      }
     }
     --me.credits;
     const std::uint64_t len = std::min(remaining, chunk);
@@ -189,6 +219,7 @@ void DetailedViaSocket::send(net::Message m) {
     while (me.vi->send_cq().poll()) {
     }
   }
+  return Result<void>::success();
 }
 
 std::optional<net::Message> DetailedViaSocket::recv() {
@@ -198,6 +229,16 @@ std::optional<net::Message> DetailedViaSocket::recv() {
     stats_.bytes_received += m->bytes;
   }
   return m;
+}
+
+Result<std::optional<net::Message>> DetailedViaSocket::recv_for(
+    SimTime timeout) {
+  auto r = mine().delivered.recv_for(timeout);
+  if (r.ok() && r.value()) {
+    stats_.messages_received++;
+    stats_.bytes_received += r.value()->bytes;
+  }
+  return r;
 }
 
 std::optional<net::Message> DetailedViaSocket::try_recv() {

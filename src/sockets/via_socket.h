@@ -48,6 +48,12 @@ class DetailedViaSocket final : public SvSocket {
   void send(net::Message m) override;
   std::optional<net::Message> recv() override;
   std::optional<net::Message> try_recv() override;
+  /// Timed receive (ok(nullopt) = EOF; kTimeout = nothing delivered).
+  Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
+  /// Timed send with credit-stall detection: if the receiver stops
+  /// returning credits (e.g. its node is stalled) the send gives up after
+  /// `timeout` instead of blocking forever on credit_wait.
+  Result<void> send_for(net::Message m, SimTime timeout) override;
   void close_send() override;
 
   [[nodiscard]] net::Transport transport() const override {
@@ -108,6 +114,10 @@ class DetailedViaSocket final : public SvSocket {
 
   DetailedViaSocket(std::shared_ptr<PairState> state, int side)
       : state_(std::move(state)), side_(side) {}
+
+  /// Shared body of send()/send_for(); `deadline` is ignored when `timed`
+  /// is false.
+  Result<void> send_impl(net::Message m, bool timed, SimTime deadline);
 
   [[nodiscard]] Side& mine() const {
     return state_->sides[static_cast<std::size_t>(side_)];

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.h"
+#include "net/fault.h"
+
 namespace sv::tcpstack {
 
 TcpConnection::TcpConnection(TcpStack* stack, std::string name,
@@ -10,6 +13,7 @@ TcpConnection::TcpConnection(TcpStack* stack, std::string name,
     : stack_(stack),
       name_(std::move(name)),
       options_(options),
+      rto_current_(options.rto_initial),
       send_space_(&stack->sim(), name_ + ".sndbuf"),
       tx_wake_(&stack->sim(), name_ + ".txwake"),
       recv_wait_(&stack->sim(), name_ + ".rcvwait") {}
@@ -50,6 +54,44 @@ void TcpConnection::send(std::uint64_t bytes) {
     // next copy quantum on the shared host path.
     stack_->sim().delay(SimTime::zero());
   }
+}
+
+Result<void> TcpConnection::send_for(std::uint64_t bytes, SimTime timeout) {
+  if (timeout <= SimTime::zero()) {
+    send(bytes);
+    return Result<void>::success();
+  }
+  if (fin_queued_) {
+    throw std::logic_error("TcpConnection[" + name_ + "]::send after close");
+  }
+  const SimTime deadline = stack_->sim().now() + timeout;
+  stack_->node().tx_host().use(stack_->profile().send_fixed);
+  const std::uint64_t quantum = std::uint64_t{2} * options_.mss;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    std::uint64_t used = unsent_bytes_ + inflight_bytes_;
+    while (used >= options_.send_buffer) {
+      const SimTime left = deadline - stack_->sim().now();
+      if (left <= SimTime::zero() || !send_space_.wait_for(left)) {
+        used = unsent_bytes_ + inflight_bytes_;
+        if (used < options_.send_buffer) break;  // raced with an ACK
+        return Error::timeout("TcpConnection[" + name_ +
+                              "]: send timed out with a full socket buffer "
+                              "(peer not ACKing)");
+      }
+      used = unsent_bytes_ + inflight_bytes_;
+    }
+    const std::uint64_t take =
+        std::min({remaining, options_.send_buffer - used, quantum});
+    stack_->node().tx_host().use(
+        stack_->profile().send_per_byte.for_bytes(take));
+    unsent_bytes_ += take;
+    bytes_sent_ += take;
+    remaining -= take;
+    tx_wake_.notify_all();
+    stack_->sim().delay(SimTime::zero());
+  }
+  return Result<void>::success();
 }
 
 void TcpConnection::close() {
@@ -94,11 +136,55 @@ std::uint64_t TcpConnection::recv_exact(std::uint64_t n) {
   return total;
 }
 
+Result<std::uint64_t> TcpConnection::recv_exact_for(std::uint64_t n,
+                                                    SimTime timeout) {
+  if (timeout <= SimTime::zero()) return recv_exact(n);
+  if (n == 0) return std::uint64_t{0};
+  const SimTime deadline = stack_->sim().now() + timeout;
+  bool charged = false;
+  std::uint64_t total = 0;
+  while (total < n) {
+    while (recv_buf_bytes_ == 0 && !fin_received_) {
+      const SimTime remaining = deadline - stack_->sim().now();
+      if (remaining <= SimTime::zero() ||
+          !recv_wait_.wait_for(remaining)) {
+        if (recv_buf_bytes_ > 0 || fin_received_) break;  // raced with data
+        return Error::timeout("TcpConnection[" + name_ + "]: recv timed out after " +
+                              timeout.to_string());
+      }
+    }
+    if (recv_buf_bytes_ == 0) break;  // EOF before n bytes
+    if (!charged) {
+      stack_->sim().delay(stack_->profile().recv_fixed);
+      charged = true;
+    }
+    const std::uint64_t take = std::min(n - total, recv_buf_bytes_);
+    recv_buf_bytes_ -= take;
+    total += take;
+    peer_->tx_wake_.notify_all();
+  }
+  return total;
+}
+
 void TcpConnection::tx_loop() {
   const std::uint64_t mss = options_.mss;
   while (true) {
+    // Loss recovery has priority over new data: the RTO handler and fast
+    // retransmit run in event context, where blocking transmission is
+    // illegal, so they hand the actual re-send to this process.
+    if (retx_pending_) {
+      retx_pending_ = false;
+      if (!unacked_.empty()) {
+        retransmit_front();
+        continue;
+      }
+    }
     if (unsent_bytes_ == 0) {
-      if (fin_queued_) break;
+      if (fin_queued_ && !fin_sent_) {
+        send_segment(0, true);  // pure FIN
+        continue;
+      }
+      if (fin_sent_ && unacked_.empty()) break;  // everything delivered+ACKed
       tx_wake_.wait();
       continue;
     }
@@ -107,7 +193,7 @@ void TcpConnection::tx_loop() {
       tx_wake_.wait();
       continue;
     }
-    std::uint64_t seg = std::min({mss, unsent_bytes_, window});
+    const std::uint64_t seg = std::min({mss, unsent_bytes_, window});
     // Nagle: hold back a sub-MSS segment while data is in flight, unless
     // this flushes the stream (close pending with nothing more coming).
     if (options_.nagle && seg < mss && seg == unsent_bytes_ &&
@@ -116,37 +202,103 @@ void TcpConnection::tx_loop() {
       continue;
     }
     unsent_bytes_ -= seg;
-    inflight_bytes_ += seg;
-    ++segments_sent_;
-    const bool fin = fin_queued_ && unsent_bytes_ == 0;
-    if (fin) fin_sent_ = true;
-    // Piggyback any pending ACK for the reverse direction on this data
-    // segment (standard TCP behaviour; prevents the Nagle/delayed-ACK
-    // stall in request-response traffic).
-    std::uint64_t piggyback = 0;
-    if (unacked_segments_ > 0) {
-      piggyback = unacked_bytes_;
-      ++acks_sent_;
-      unacked_segments_ = 0;
-      unacked_bytes_ = 0;
-    }
-    stack_->transmit(TcpStack::Segment{this, seg, piggyback, fin});
-    if (fin) break;
-  }
-  if (fin_queued_ && !fin_sent_) {
-    fin_sent_ = true;
-    stack_->transmit(TcpStack::Segment{this, 0, 0, true});
+    send_segment(seg, fin_queued_ && unsent_bytes_ == 0);
   }
 }
 
-void TcpConnection::on_segment(std::uint64_t bytes, bool fin) {
+void TcpConnection::send_segment(std::uint64_t bytes, bool fin) {
+  const std::uint64_t seq = snd_nxt_;
+  snd_nxt_ += bytes + (fin ? 1 : 0);  // FIN occupies one sequence number
+  inflight_bytes_ += bytes;
+  unacked_.emplace(seq, SentSegment{bytes, fin});
+  ++segments_sent_;
+  if (fin) fin_sent_ = true;
+  // Piggyback any pending ACK for the reverse direction on this data
+  // segment (standard TCP behaviour; prevents the Nagle/delayed-ACK
+  // stall in request-response traffic).
+  bool has_ack = false;
+  if (unacked_segments_ > 0) {
+    has_ack = true;
+    ++acks_sent_;
+    unacked_segments_ = 0;
+  }
+  stack_->transmit(
+      TcpStack::Segment{this, seq, bytes, rcv_nxt_, has_ack, fin});
+  arm_rto();
+}
+
+void TcpConnection::retransmit_front() {
+  const auto it = unacked_.begin();
+  SV_DCHECK(it->first == snd_una_,
+            "earliest unacked segment must start at snd_una");
+  ++segments_retransmitted_;
+  stack_->transmit(TcpStack::Segment{this, it->first, it->second.bytes,
+                                     rcv_nxt_, false, it->second.fin});
+  arm_rto();
+}
+
+void TcpConnection::arm_rto() {
+  if (rto_armed_ || unacked_.empty()) return;
+  rto_armed_ = true;
+  rto_event_ =
+      stack_->sim().schedule(rto_current_, [this] { on_rto_expiry(); });
+}
+
+void TcpConnection::cancel_rto() {
+  if (!rto_armed_) return;
+  rto_armed_ = false;
+  stack_->sim().cancel(rto_event_);
+}
+
+void TcpConnection::on_rto_expiry() {
+  rto_armed_ = false;
+  if (unacked_.empty()) return;  // ACK landed at the same instant
+  ++rto_expirations_;
+  rto_current_ = std::min(rto_current_ * 2, options_.rto_max);
+  retx_pending_ = true;
+  tx_wake_.notify_all();
+}
+
+void TcpConnection::on_segment(std::uint64_t seq, std::uint64_t bytes,
+                               bool fin) {
+  const std::uint64_t seg_end = seq + bytes + (fin ? 1 : 0);
+  if (seg_end <= rcv_nxt_) {
+    // Spurious retransmission of fully-received data: re-ACK so the sender
+    // can advance.
+    send_ack_now();
+    return;
+  }
+  if (seq > rcv_nxt_) {
+    // A gap: hold for reassembly and emit an immediate duplicate ACK (the
+    // signal fast retransmit counts). Fixed segment boundaries make the
+    // map key collision-free; re-inserts of the same segment are no-ops.
+    ooo_segments_.emplace(seq, OooSegment{bytes, fin});
+    ++ooo_received_;
+    send_ack_now();
+    return;
+  }
+  SV_DCHECK(seq == rcv_nxt_, "partial segment overlap is impossible with "
+                             "fixed retransmit boundaries");
+  accept_segment(bytes, fin);
+  // Drain the reassembly queue now contiguous with rcv_nxt.
+  while (!ooo_segments_.empty()) {
+    const auto it = ooo_segments_.begin();
+    if (it->first > rcv_nxt_) break;
+    if (it->first == rcv_nxt_) {
+      accept_segment(it->second.bytes, it->second.fin);
+    }
+    ooo_segments_.erase(it);
+  }
+  recv_wait_.notify_all();
+  maybe_ack();
+}
+
+void TcpConnection::accept_segment(std::uint64_t bytes, bool fin) {
+  rcv_nxt_ += bytes + (fin ? 1 : 0);
   recv_buf_bytes_ += bytes;
   bytes_received_ += bytes;
   if (fin) fin_received_ = true;
-  recv_wait_.notify_all();
   ++unacked_segments_;
-  unacked_bytes_ += bytes;
-  maybe_ack();
 }
 
 void TcpConnection::maybe_ack() {
@@ -167,16 +319,51 @@ void TcpConnection::send_ack_now() {
   // Pure ACKs bypass the socket buffer; enqueue straight to the wire (the
   // kernel generates them in interrupt context). wire_out_ is unbounded, so
   // this is safe from both process and event contexts.
-  stack_->wire_out_.send(TcpStack::Segment{this, 0, unacked_bytes_, false});
+  stack_->wire_out_.send(
+      TcpStack::Segment{this, 0, 0, rcv_nxt_, true, false});
   ++acks_sent_;
   unacked_segments_ = 0;
-  unacked_bytes_ = 0;
 }
 
-void TcpConnection::on_ack(std::uint64_t acked_bytes) {
-  inflight_bytes_ -= std::min(inflight_bytes_, acked_bytes);
-  send_space_.notify_all();
-  tx_wake_.notify_all();
+void TcpConnection::on_ack(std::uint64_t ackno, bool pure) {
+  if (ackno > snd_una_) {
+    // Forward progress: retire fully-covered segments, reset the dup-ACK
+    // count and the RTO backoff, and restart the timer for what remains.
+    snd_una_ = ackno;
+    while (!unacked_.empty()) {
+      const auto it = unacked_.begin();
+      const std::uint64_t end =
+          it->first + it->second.bytes + (it->second.fin ? 1 : 0);
+      if (end > ackno) break;
+      inflight_bytes_ -= it->second.bytes;
+      unacked_.erase(it);
+    }
+    dup_acks_ = 0;
+    if (in_recovery_ && ackno >= recover_seq_) in_recovery_ = false;
+    cancel_rto();
+    rto_current_ = options_.rto_initial;
+    arm_rto();  // no-op when everything is acknowledged
+    send_space_.notify_all();
+    tx_wake_.notify_all();
+    return;
+  }
+  if (pure && ackno == snd_una_ && !unacked_.empty()) {
+    ++dup_acks_received_;
+    if (++dup_acks_ == 3) {
+      // Fast retransmit: three duplicate ACKs imply the next segment was
+      // lost while later ones arrived; re-send without waiting for the RTO.
+      // While in recovery, later dup ACKs for the same hole are ignored —
+      // they are echoes of segments already in flight, not new losses.
+      dup_acks_ = 0;
+      if (!in_recovery_) {
+        in_recovery_ = true;
+        recover_seq_ = snd_nxt_;
+        ++fast_retransmits_;
+        retx_pending_ = true;
+        tx_wake_.notify_all();
+      }
+    }
+  }
 }
 
 TcpStack::TcpStack(sim::Simulation* sim, net::Node* node,
@@ -193,8 +380,15 @@ TcpStack::TcpStack(sim::Simulation* sim, net::Node* node,
       // Data segments occupy the inbound link for payload + headers; pure
       // ACKs cost one header's worth.
       dest->node_->link_in().use(model_.wire_time(seg->bytes));
+      SimTime extra = SimTime::zero();
+      if (net::FaultInjector* inj = node_->fault_injector()) {
+        const net::FaultDecision d =
+            inj->on_frame(node_->id(), dest->node_->id());
+        if (d.drop) continue;  // lost on the wire: TCP recovery takes over
+        extra = d.extra_delay;
+      }
       auto shared = std::make_shared<Segment>(*seg);
-      sim_->schedule(profile_.propagation, [dest, shared] {
+      sim_->schedule(profile_.propagation + extra, [dest, shared] {
         dest->rx_queue_.send(*shared);
       });
     }
@@ -220,12 +414,12 @@ void TcpStack::rx_loop() {
       // Interrupt + TCP/IP input + checksum + copy to the socket buffer.
       node_->rx_proto().use(profile_.recv_per_seg +
                             profile_.recv_per_byte.for_bytes(seg->bytes));
-      receiver->on_segment(seg->bytes, seg->fin);
+      receiver->on_segment(seg->seq, seg->bytes, seg->fin);
     }
-    if (seg->ack > 0) {
+    if (seg->has_ack) {
       // ACK processing is cheap but not free.
       node_->rx_proto().use(SimTime::microseconds(1));
-      receiver->on_ack(seg->ack);
+      receiver->on_ack(seg->ack, seg->bytes == 0 && !seg->fin);
     }
   }
 }

@@ -1,25 +1,35 @@
 // A simplified in-simulator kernel TCP: the "traditional sockets" baseline.
 //
-// Executed machinery: MSS segmentation, sliding-window flow control against
-// the receiver's buffer, cumulative ACKs with delayed-ACK (ack every 2nd
-// segment or after a timeout), Nagle's algorithm, blocking send/recv with
-// socket buffers, and FIN/close sequencing. Per-segment and per-syscall
-// costs come from the calibrated kernel-TCP profile; segments occupy the
-// same per-node tx/link/rx resources as every other transport, so TCP
-// contends realistically with itself and with VIA traffic.
+// Executed machinery: MSS segmentation, byte sequence numbers with
+// cumulative ACKs, sliding-window flow control against the receiver's
+// buffer, delayed-ACK (ack every 2nd segment or after a timeout), Nagle's
+// algorithm, blocking send/recv with socket buffers, FIN/close sequencing,
+// and real loss recovery: a retransmission timer with exponential backoff,
+// duplicate-ACK fast retransmit, and out-of-order reassembly at the
+// receiver. Per-segment and per-syscall costs come from the calibrated
+// kernel-TCP profile; segments occupy the same per-node tx/link/rx
+// resources as every other transport, so TCP contends realistically with
+// itself and with VIA traffic.
 //
-// Deliberate simplifications (documented in DESIGN.md): the fabric is
-// loss-free and in-order, so retransmission and congestion control are not
-// modeled (the paper's cLAN/FastEthernet LAN showed no loss either);
-// receive-window state is read directly rather than carried in ACK headers
-// (window *timing* effects are still modeled via the ACK-gated send buffer).
+// The fabric drops segments only under an installed net::FaultPlan
+// (DESIGN.md §8; net/fault.h): the paper's cLAN/FastEthernet LAN was
+// loss-free, so the baseline runs never retransmit, while fault-injection
+// experiments exercise RTO expiry and fast retransmit deterministically.
+//
+// Deliberate simplifications (documented in DESIGN.md): congestion control
+// is not modeled (no cwnd — the paper's LAN is a single switch with no
+// cross traffic); receive-window state is read directly rather than carried
+// in ACK headers (window *timing* effects are still modeled via the
+// ACK-gated send buffer).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "common/result.h"
 #include "net/calibration.h"
 #include "net/cluster.h"
 #include "net/cost_model.h"
@@ -37,6 +47,14 @@ struct TcpOptions {
   /// latency this paper studies; 200 us keeps it visible but realistic for
   /// a LAN benchmark kernel).
   SimTime delayed_ack_timeout = SimTime::microseconds(200);
+  /// Initial retransmission timeout. Scaled for a microsecond-RTT LAN
+  /// (kernels of the era clamped RTO to >= 200 ms, which would make lossy
+  /// runs glacial in simulated time without changing the recovery logic);
+  /// comfortably above the delayed-ACK timeout so lone segments do not
+  /// spuriously retransmit.
+  SimTime rto_initial = SimTime::milliseconds(1);
+  /// RTO ceiling for the exponential backoff (doubles per expiry).
+  SimTime rto_max = SimTime::milliseconds(64);
 };
 
 class TcpStack;
@@ -53,12 +71,24 @@ class TcpConnection {
   /// the buffer is full). Returns when all bytes are buffered.
   void send(std::uint64_t bytes);
 
+  /// Timed send: ErrorCode::kTimeout if socket-buffer space stops freeing
+  /// up within `timeout` (a peer that stops ACKing, e.g. a stalled node).
+  /// Bytes already buffered stay queued, so treat a timeout as fatal for
+  /// the stream. `timeout` <= 0 means wait forever.
+  Result<void> send_for(std::uint64_t bytes, SimTime timeout);
+
   /// Blocking receive: returns 1..max bytes, or 0 at end-of-stream.
   std::uint64_t recv(std::uint64_t max);
 
   /// MSG_WAITALL-style receive: blocks until exactly `n` bytes are drained
   /// (or end-of-stream; returns bytes actually read).
   std::uint64_t recv_exact(std::uint64_t n);
+
+  /// recv_exact with a deadline: on timeout returns ErrorCode::kTimeout and
+  /// the partially-drained byte count is lost to the caller, so treat a
+  /// timeout as fatal for the stream (the recovery story the DataCutter
+  /// runtime needs for stalled peers). `timeout` <= 0 means wait forever.
+  Result<std::uint64_t> recv_exact_for(std::uint64_t n, SimTime timeout);
 
   /// Half-closes the sending direction (FIN after all queued data).
   void close();
@@ -70,6 +100,24 @@ class TcpConnection {
   }
   [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  /// Loss-recovery counters (all zero on a loss-free fabric).
+  [[nodiscard]] std::uint64_t segments_retransmitted() const {
+    return segments_retransmitted_;
+  }
+  [[nodiscard]] std::uint64_t rto_expirations() const {
+    return rto_expirations_;
+  }
+  [[nodiscard]] std::uint64_t fast_retransmits() const {
+    return fast_retransmits_;
+  }
+  [[nodiscard]] std::uint64_t dup_acks_received() const {
+    return dup_acks_received_;
+  }
+  [[nodiscard]] std::uint64_t ooo_segments_received() const {
+    return ooo_received_;
+  }
+  /// Current RTO (exposed so tests can observe the exponential backoff).
+  [[nodiscard]] SimTime current_rto() const { return rto_current_; }
   [[nodiscard]] const TcpOptions& options() const { return options_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] TcpStack& stack() const { return *stack_; }
@@ -80,11 +128,30 @@ class TcpConnection {
  private:
   friend class TcpStack;
 
+  struct SentSegment {
+    std::uint64_t bytes = 0;
+    bool fin = false;
+  };
+  struct OooSegment {
+    std::uint64_t bytes = 0;
+    bool fin = false;
+  };
+
   void tx_loop();
-  /// Receiver side: deliver segment payload bytes into the receive buffer.
-  void on_segment(std::uint64_t bytes, bool fin);
-  /// Sender side: cumulative ACK freeing socket-buffer space.
-  void on_ack(std::uint64_t acked_bytes);
+  /// Sends a fresh segment of `bytes` payload (seq = snd_nxt_).
+  void send_segment(std::uint64_t bytes, bool fin);
+  /// Re-sends the earliest unacknowledged segment (go-back recovery).
+  void retransmit_front();
+  void arm_rto();
+  void cancel_rto();
+  void on_rto_expiry();
+  /// Receiver side: segment arrived off the wire (any order).
+  void on_segment(std::uint64_t seq, std::uint64_t bytes, bool fin);
+  /// Delivers one in-sequence segment into the receive buffer.
+  void accept_segment(std::uint64_t bytes, bool fin);
+  /// Sender side: cumulative ACK. `pure` marks a data-free segment, the
+  /// only kind that counts toward the duplicate-ACK threshold.
+  void on_ack(std::uint64_t ackno, bool pure);
   void send_ack_now();
   void maybe_ack();
   [[nodiscard]] std::uint64_t peer_window_available() const;
@@ -94,19 +161,37 @@ class TcpConnection {
   TcpOptions options_;
   TcpConnection* peer_ = nullptr;
 
-  // --- send side ---
+  // --- send side (sequence space: payload bytes; FIN occupies one) ---
+  std::uint64_t snd_una_ = 0;  // oldest unacknowledged sequence
+  std::uint64_t snd_nxt_ = 0;  // next sequence to assign
+  /// Sent-but-unacked segments by starting sequence; boundaries are fixed
+  /// at first transmission, so retransmits never partially overlap.
+  std::map<std::uint64_t, SentSegment> unacked_;
   std::uint64_t unsent_bytes_ = 0;    // buffered, not yet segmented
-  std::uint64_t inflight_bytes_ = 0;  // segmented, not yet ACKed
+  std::uint64_t inflight_bytes_ = 0;  // payload bytes sent, not yet ACKed
   bool fin_queued_ = false;
   bool fin_sent_ = false;
+  bool retx_pending_ = false;  // RTO/fast-retransmit handoff to tx loop
+  std::uint32_t dup_acks_ = 0;
+  /// Fast-recovery guard (NewReno-style): once a fast retransmit fires,
+  /// further duplicate ACKs for the same hole must not retrigger it until
+  /// the cumulative ACK passes the highest sequence outstanding at the
+  /// time of the retransmit.
+  bool in_recovery_ = false;
+  std::uint64_t recover_seq_ = 0;
+  SimTime rto_current_;
+  bool rto_armed_ = false;
+  std::uint64_t rto_event_ = 0;
   sim::WaitQueue send_space_;  // senders blocked on a full socket buffer
-  sim::WaitQueue tx_wake_;     // tx loop wakeups (data/ack/window)
+  sim::WaitQueue tx_wake_;     // tx loop wakeups (data/ack/window/retx)
 
   // --- receive side ---
+  std::uint64_t rcv_nxt_ = 0;  // next expected sequence
+  /// Out-of-order segments held for reassembly, by starting sequence.
+  std::map<std::uint64_t, OooSegment> ooo_segments_;
   std::uint64_t recv_buf_bytes_ = 0;
   bool fin_received_ = false;
   std::uint64_t unacked_segments_ = 0;
-  std::uint64_t unacked_bytes_ = 0;
   bool ack_timer_armed_ = false;
   sim::WaitQueue recv_wait_;
 
@@ -115,6 +200,11 @@ class TcpConnection {
   std::uint64_t bytes_received_ = 0;
   std::uint64_t segments_sent_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t segments_retransmitted_ = 0;
+  std::uint64_t rto_expirations_ = 0;
+  std::uint64_t fast_retransmits_ = 0;
+  std::uint64_t dup_acks_received_ = 0;
+  std::uint64_t ooo_received_ = 0;
 };
 
 /// The per-node kernel TCP instance.
@@ -146,9 +236,11 @@ class TcpStack {
   friend class TcpConnection;
 
   struct Segment {
-    TcpConnection* sender;  // sending endpoint
-    std::uint64_t bytes;    // payload bytes (0 for pure ACK)
-    std::uint64_t ack;      // cumulative ack field (bytes being acked)
+    TcpConnection* sender;    // sending endpoint
+    std::uint64_t seq = 0;    // starting sequence of the payload
+    std::uint64_t bytes = 0;  // payload bytes (0 for pure ACK)
+    std::uint64_t ack = 0;    // cumulative ack (receiver's rcv_nxt)
+    bool has_ack = false;
     bool fin = false;
   };
 

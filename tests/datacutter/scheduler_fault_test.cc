@@ -1,0 +1,211 @@
+// Scheduler behaviour under node faults: Round-Robin and Demand-Driven
+// must keep making progress when a consumer node stalls mid-run, DD must
+// route new work around the stalled copy, and with an i/o deadline a
+// permanently wedged pipeline surfaces as an error instead of a hang.
+#include "datacutter/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "net/fault.h"
+
+namespace sv::dc {
+namespace {
+
+using namespace sv::literals;
+
+class EmitterFilter : public Filter {
+ public:
+  EmitterFilter(int chunks, std::uint64_t bytes)
+      : chunks_(chunks), bytes_(bytes) {}
+  void process(FilterContext& ctx) override {
+    for (int i = 0; i < chunks_; ++i) {
+      DataBuffer b;
+      b.bytes = bytes_;
+      b.tag = static_cast<std::uint64_t>(i);
+      ctx.write(std::move(b));
+    }
+  }
+
+ private:
+  int chunks_;
+  std::uint64_t bytes_;
+};
+
+struct Forward : Filter {
+  void process(FilterContext& ctx) override {
+    while (auto b = ctx.read()) ctx.write(std::move(*b));
+  }
+};
+
+struct CountingSink : Filter {
+  explicit CountingSink(int* count) : count_(count) {}
+  void process(FilterContext& ctx) override {
+    while (ctx.read()) ++*count_;
+  }
+  int* count_;
+};
+
+/// src on node 0 -> `policy`-scheduled 2-copy "work" on nodes 1,2 ->
+/// sink on node 3.
+FilterGroup two_copy_group(int* count, int chunks, std::uint64_t bytes,
+                           SchedPolicy policy) {
+  FilterGroup g;
+  g.add_filter("src",
+               [chunks, bytes] {
+                 return std::make_unique<EmitterFilter>(chunks, bytes);
+               },
+               {0});
+  g.add_filter("work", [] { return std::make_unique<Forward>(); }, {1, 2});
+  g.add_filter("sink",
+               [count] { return std::make_unique<CountingSink>(count); },
+               {3});
+  g.add_stream("src", "work", policy);
+  g.add_stream("work", "sink", SchedPolicy::kDemandDriven);
+  return g;
+}
+
+net::FaultPlan stall_node(int node, SimTime start, SimTime duration) {
+  net::FaultPlan plan;
+  plan.nodes.push_back(
+      net::NodeFault{.node = node, .start = start, .duration = duration});
+  return plan;
+}
+
+TEST(SchedulerFaultTest, RoundRobinSurvivesBoundedStall) {
+  // Node 2 stalls for 5 ms mid-run. RR keeps alternating, so the producer
+  // parks on the stalled copy's connection until the window ends — but the
+  // run completes, nothing is lost, and completion time is bounded by the
+  // stall, not by a deadlock.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 4);
+  cluster.install_faults(stall_node(2, 1_ms, 5_ms), 1);
+  sockets::SocketFactory factory(&s, &cluster);
+  int delivered = 0;
+  Runtime rt(&s, &cluster, &factory,
+             two_copy_group(&delivered, 64, 8_KiB, SchedPolicy::kRoundRobin));
+  rt.start();
+  for (std::uint64_t q = 1; q <= 4; ++q) rt.submit(Uow{.id = q});
+  rt.close_input();
+  s.run();
+  EXPECT_EQ(delivered, 4 * 64);
+  EXPECT_GE(s.now(), 6_ms);   // the stall really gated the run
+  EXPECT_LT(s.now(), 60_ms);  // ...but recovery was prompt, not a wedge
+  const auto dist = rt.distribution(0);
+  EXPECT_EQ(dist[0][0] + dist[0][1], 4u * 64u);
+  EXPECT_EQ(dist[0][0], dist[0][1]);  // RR stays blind to the stall
+}
+
+TEST(SchedulerFaultTest, DemandDrivenRoutesAroundStalledCopy) {
+  // Node 2 stalls early and for most of the run. DD parks at most
+  // dd_max_unacked buffers on the stalled copy and sends everything else
+  // to the healthy one.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 4);
+  cluster.install_faults(stall_node(2, 100_us, 20_ms), 1);
+  sockets::SocketFactory factory(&s, &cluster);
+  int delivered = 0;
+  RuntimeOptions opt;
+  opt.dd_max_unacked = 3;  // 3 x 8 KiB stays under the transport window
+  Runtime rt(&s, &cluster, &factory,
+             two_copy_group(&delivered, 64, 8_KiB,
+                            SchedPolicy::kDemandDriven),
+             opt);
+  rt.start();
+  rt.submit(Uow{.id = 1});
+  rt.close_input();
+  s.run();
+  EXPECT_EQ(delivered, 64);
+  const auto dist = rt.distribution(0);
+  const auto healthy = dist[0][0];
+  const auto stalled = dist[0][1];
+  EXPECT_EQ(healthy + stalled, 64u);
+  EXPECT_GT(healthy, stalled * 3) << "healthy=" << healthy
+                                  << " stalled=" << stalled;
+  EXPECT_LT(s.now(), 100_ms);
+}
+
+TEST(SchedulerFaultTest, IoTimeoutTurnsPermanentStallIntoError) {
+  // Node 2 stalls for the entire run and the producer keeps feeding its
+  // copy round-robin. Without a deadline this wedges forever; with
+  // io_timeout the stuck write throws and Simulation::run surfaces it.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 4);
+  cluster.install_faults(stall_node(2, 100_us, 1000_s), 1);
+  sockets::SocketFactory factory(&s, &cluster);
+  int delivered = 0;
+  RuntimeOptions opt;
+  opt.io_timeout = 5_ms;
+  Runtime rt(&s, &cluster, &factory,
+             two_copy_group(&delivered, 64, 32_KiB, SchedPolicy::kRoundRobin),
+             opt);
+  rt.start();
+  rt.submit(Uow{.id = 1});
+  rt.close_input();
+  EXPECT_THROW(s.run(), std::runtime_error);
+  EXPECT_LT(s.now(), 1_s);  // failed fast, long before the stall ends
+}
+
+TEST(SchedulerFaultTest, DemandDrivenCapTimeoutReportsError) {
+  // Both consumer copies stall, so every copy sits at the unacked cap and
+  // the DD selector itself (not the transport) is what blocks. The
+  // deadline converts that wait into an error too.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 4);
+  net::FaultPlan plan;
+  plan.nodes.push_back(
+      net::NodeFault{.node = 1, .start = 100_us, .duration = 1000_s});
+  plan.nodes.push_back(
+      net::NodeFault{.node = 2, .start = 100_us, .duration = 1000_s});
+  cluster.install_faults(plan, 1);
+  sockets::SocketFactory factory(&s, &cluster);
+  int delivered = 0;
+  RuntimeOptions opt;
+  opt.io_timeout = 5_ms;
+  opt.dd_max_unacked = 2;
+  Runtime rt(&s, &cluster, &factory,
+             two_copy_group(&delivered, 64, 1_KiB,
+                            SchedPolicy::kDemandDriven),
+             opt);
+  rt.start();
+  rt.submit(Uow{.id = 1});
+  rt.close_input();
+  EXPECT_THROW(s.run(), std::runtime_error);
+}
+
+TEST(SchedulerFaultTest, WaitCompletionForTimesOutThenDelivers) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 4);
+  sockets::SocketFactory factory(&s, &cluster);
+  int delivered = 0;
+  Runtime rt(&s, &cluster, &factory,
+             two_copy_group(&delivered, 2, 1_KiB, SchedPolicy::kRoundRobin));
+  rt.start();
+  std::vector<ErrorCode> codes;
+  s.spawn("watcher", [&] {
+    // Nothing submitted yet: the timed wait must report kTimeout instead
+    // of blocking forever.
+    auto r1 = rt.wait_completion_for(1_ms);
+    ASSERT_FALSE(r1.ok());
+    codes.push_back(r1.code());
+    rt.submit(Uow{.id = 9});
+    rt.close_input();
+    auto r2 = rt.wait_completion_for(1_s);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2.value().uow_id, 9u);
+    // Stream is closed once all sinks finalize.
+    auto r3 = rt.wait_completion_for(1_s);
+    ASSERT_FALSE(r3.ok());
+    codes.push_back(r3.code());
+  });
+  s.run();
+  ASSERT_EQ(codes.size(), 2u);
+  EXPECT_EQ(codes[0], ErrorCode::kTimeout);
+  EXPECT_EQ(codes[1], ErrorCode::kClosed);
+}
+
+}  // namespace
+}  // namespace sv::dc

@@ -68,5 +68,42 @@ TEST(DeterminismReplay, DifferentSeedsDivergeButStayDeterministic) {
       << "digest must be sensitive to the seeded workload";
 }
 
+TEST(DeterminismReplay, FaultyRunReplaysBitIdentically) {
+  // The determinism contract extends to fault injection: a nonzero-loss,
+  // jittery FaultPlan draws every decision from RNG streams derived from
+  // the experiment seed, so the lossy run must replay to the identical
+  // digest — and must not be a no-op (the fault-free digest differs).
+  auto faulty = [](std::uint64_t seed) {
+    auto cfg = fig07_style(net::Transport::kKernelTcp, seed);
+    cfg.faults = net::FaultPlan::uniform_loss(0.02);
+    cfg.faults.all_links.max_jitter = 5_us;
+    return cfg;
+  };
+  const auto a = run_paced_updates(faulty(42), 2.0, 3, 1);
+  const auto b = run_paced_updates(faulty(42), 2.0, 3, 1);
+  ASSERT_GT(a.events_fired, 0u);
+  expect_identical(a, b);
+
+  const auto clean = run_paced_updates(
+      fig07_style(net::Transport::kKernelTcp, 42), 2.0, 3, 1);
+  EXPECT_NE(a.trace_digest, clean.trace_digest)
+      << "the fault plan must actually perturb the schedule";
+}
+
+TEST(DeterminismReplay, FaultySeedsDiverge) {
+  // Same plan, different seed: different drops, different trace — each
+  // seed still self-consistent.
+  auto faulty = [](std::uint64_t seed) {
+    auto cfg = fig07_style(net::Transport::kSocketVia, seed);
+    cfg.faults = net::FaultPlan::uniform_loss(0.02);
+    return cfg;
+  };
+  const auto s1a = run_paced_updates(faulty(1), 4.0, 4, 1);
+  const auto s1b = run_paced_updates(faulty(1), 4.0, 4, 1);
+  const auto s2 = run_paced_updates(faulty(2), 4.0, 4, 1);
+  expect_identical(s1a, s1b);
+  EXPECT_NE(s1a.trace_digest, s2.trace_digest);
+}
+
 }  // namespace
 }  // namespace sv::harness

@@ -18,6 +18,11 @@ TEST_P(FabricModelAgreement, UncontendedOneWayMatchesModel) {
   const auto bytes = std::get<1>(GetParam());
   sim::Simulation s;
   Cluster cluster(&s, 2);
+  // Model agreement is defined on a loss-free fabric (DESIGN.md §6): the
+  // closed-form model has no recovery term, so this property holds only
+  // under FaultPlan::none(). Pinned explicitly so a future default-faulty
+  // fixture cannot silently invalidate the comparison.
+  cluster.install_faults(FaultPlan::none(), 1);
   Pipe pipe(&s, &cluster.node(0), &cluster.node(1),
             CalibrationProfile::for_transport(transport), "p");
   SimTime delivered;
@@ -55,6 +60,9 @@ TEST_P(FabricStreamingAgreement, SteadyStateRateMatchesStreamCycle) {
   const auto transport = GetParam();
   sim::Simulation s;
   Cluster cluster(&s, 2);
+  // Loss-free by construction, as above: streaming rate has no recovery
+  // term in the closed-form model.
+  cluster.install_faults(FaultPlan::none(), 1);
   Pipe pipe(&s, &cluster.node(0), &cluster.node(1),
             CalibrationProfile::for_transport(transport), "p");
   const int kCount = 150;

@@ -1,0 +1,251 @@
+// Timed socket operations across every transport: recv_for deadlines,
+// EOF-vs-timeout distinction, and stall detection on the send side —
+// window stall (fast fabric), credit stall (SocketVIA), slot stall
+// (RDMA push), and an un-ACKing peer (detailed TCP).
+#include "sockets/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "net/fault.h"
+#include "sockets/factory.h"
+#include "sockets/rdma_socket.h"
+#include "sockets/tcp_socket.h"
+#include "sockets/via_socket.h"
+
+namespace sv::sockets {
+namespace {
+
+using namespace sv::literals;
+
+/// Stall `node` from 10us for 10s — 500x any deadline in this file, so
+/// "forever" as far as the timed operations are concerned. Transport setup
+/// at t=0 still works; nothing on the node progresses afterwards. Kept
+/// bounded (not years) because after the app gives up, background machinery
+/// such as TCP's RTO timer legitimately keeps retrying into the stalled
+/// node until the window closes, and the run must still drain quickly.
+void stall_forever(net::Cluster& cluster, int node) {
+  net::FaultPlan plan;
+  plan.nodes.push_back(
+      net::NodeFault{.node = node, .start = 10_us, .duration = 10_s});
+  cluster.install_faults(plan, 1);
+}
+
+TEST(SocketTimeoutTest, RecvForTimesOutAtExactDeadline) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  SocketFactory factory(&s, &cluster);
+  bool reached_end = false;
+  s.spawn("app", [&] {
+    auto [a, b] = factory.connect(0, 1, net::Transport::kSocketVia);
+    const SimTime t0 = s.now();
+    auto r = b->recv_for(3_ms);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+    EXPECT_TRUE(r.timed_out());
+    EXPECT_EQ(s.now() - t0, 3_ms);  // woke exactly at the deadline
+    (void)a;
+    reached_end = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached_end);
+}
+
+TEST(SocketTimeoutTest, RecvForDeliversArrivingMessage) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  SocketFactory factory(&s, &cluster);
+  bool reached_end = false;
+  s.spawn("app", [&] {
+    auto [a, b] = factory.connect(0, 1, net::Transport::kSocketVia);
+    s.spawn("tx", [&s, a = std::move(a)]() mutable {
+      s.delay(200_us);
+      a->send(net::Message{.bytes = 4096, .tag = 7});
+      a->close_send();
+    });
+    auto r = b->recv_for(10_ms);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().has_value());
+    EXPECT_EQ(r.value()->tag, 7u);
+    // After the peer closes, the timed receive reports clean EOF, not a
+    // timeout.
+    auto eof = b->recv_for(10_ms);
+    ASSERT_TRUE(eof.ok());
+    EXPECT_FALSE(eof.value().has_value());
+    reached_end = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached_end);
+}
+
+TEST(SocketTimeoutTest, FastSocketWindowStallTimesOut) {
+  // Receiver node stalled: the first oversized message fills the pipe's
+  // flow-control window, so the second timed send must report kTimeout.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  stall_forever(cluster, 1);
+  SocketFactory factory(&s, &cluster);
+  bool reached_end = false;
+  SimTime failed_at;
+  s.spawn("app", [&] {
+    auto [a, b] = factory.connect(0, 1, net::Transport::kSocketVia);
+    s.delay(20_us);
+    // 64 KiB fits inside the 128 KiB window, so the send completes even
+    // though the stalled receiver never drains it...
+    ASSERT_TRUE(a->send_for(net::Message{.bytes = 64_KiB}, 5_ms).ok());
+    // ...but the next 256 KiB cannot be admitted and must time out.
+    auto r = a->send_for(net::Message{.bytes = 256_KiB}, 5_ms);
+    failed_at = s.now();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+    (void)b;
+    reached_end = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached_end);
+  // The deadline fired promptly; the run's final clock is the stall-holder
+  // release, so the app's observed time is what proves nothing hung.
+  EXPECT_LT(failed_at, 1_s);
+}
+
+TEST(SocketTimeoutTest, ViaCreditStallTimesOut) {
+  // SocketVIA flow control: the stalled receiver stops returning data
+  // credits, so a sender that exhausts its credits must time out rather
+  // than wait forever.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  stall_forever(cluster, 1);
+  via::Nic nic0(&s, &cluster.node(0));
+  via::Nic nic1(&s, &cluster.node(1));
+  bool reached_end = false;
+  SimTime failed_at;
+  s.spawn("app", [&] {
+    ViaSocketOptions opt;
+    opt.chunk_bytes = 4096;
+    opt.credits = 2;
+    opt.credit_batch = 1;
+    auto [a, b] = DetailedViaSocket::make_pair(nic0, nic1, opt);
+    s.delay(20_us);
+    // 3 chunks > 2 credits: the send must stall on credit return.
+    auto r = a->send_for(net::Message{.bytes = 3 * 4096}, 5_ms);
+    failed_at = s.now();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+    (void)b;
+    reached_end = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached_end);
+  EXPECT_LT(failed_at, 1_s);
+}
+
+TEST(SocketTimeoutTest, RdmaSlotStallTimesOut) {
+  // RDMA push flow control: ring slots come back only when the receiver
+  // consumes; a stalled receiver means slot exhaustion, then kTimeout.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  stall_forever(cluster, 1);
+  via::Nic nic0(&s, &cluster.node(0));
+  via::Nic nic1(&s, &cluster.node(1));
+  bool reached_end = false;
+  SimTime failed_at;
+  s.spawn("app", [&] {
+    RdmaSocketOptions opt;
+    opt.slot_bytes = 4096;
+    opt.ring_slots = 2;
+    opt.credit_batch = 1;
+    auto [a, b] = RdmaPushSocket::make_pair(nic0, nic1, opt);
+    s.delay(20_us);
+    auto r = a->send_for(net::Message{.bytes = 3 * 4096}, 5_ms);
+    failed_at = s.now();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+    (void)b;
+    reached_end = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached_end);
+  EXPECT_LT(failed_at, 1_s);
+}
+
+TEST(SocketTimeoutTest, DetailedTcpSendTimesOutWhenPeerStopsAcking) {
+  // The stalled receiver cannot run its protocol processing, so no ACKs
+  // come back, the socket buffer stays full, and the timed send fails.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  stall_forever(cluster, 1);
+  SocketFactory factory(&s, &cluster, Fidelity::kDetailed);
+  bool reached_end = false;
+  SimTime failed_at;
+  s.spawn("app", [&] {
+    auto [a, b] = factory.connect(0, 1, net::Transport::kKernelTcp);
+    s.delay(20_us);
+    // Larger than the 64 KiB socket buffer: can only complete with ACKs.
+    auto r = a->send_for(net::Message{.bytes = 256_KiB}, 20_ms);
+    failed_at = s.now();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+    (void)b;
+    reached_end = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached_end);
+  EXPECT_LT(failed_at, 1_s);
+}
+
+TEST(SocketTimeoutTest, DetailedTcpRecvForTimesOutAndThenDelivers) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  SocketFactory factory(&s, &cluster, Fidelity::kDetailed);
+  bool reached_end = false;
+  s.spawn("app", [&] {
+    auto [a, b] = factory.connect(0, 1, net::Transport::kKernelTcp);
+    auto r = b->recv_for(2_ms);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+    s.spawn("tx", [&s, a = std::move(a)]() mutable {
+      a->send(net::Message{.bytes = 8192, .tag = 3});
+      a->close_send();
+    });
+    auto ok = b->recv_for(1_s);
+    ASSERT_TRUE(ok.ok());
+    ASSERT_TRUE(ok.value().has_value());
+    EXPECT_EQ(ok.value()->tag, 3u);
+    EXPECT_EQ(ok.value()->bytes, 8192u);
+    auto eof = b->recv_for(1_s);
+    ASSERT_TRUE(eof.ok());
+    EXPECT_FALSE(eof.value().has_value());
+    reached_end = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached_end);
+}
+
+TEST(SocketTimeoutTest, ZeroTimeoutMeansWaitForever) {
+  // timeout <= 0 degrades to the untimed blocking call — it must succeed
+  // even when the data arrives "late".
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  SocketFactory factory(&s, &cluster);
+  bool reached_end = false;
+  s.spawn("app", [&] {
+    auto [a, b] = factory.connect(0, 1, net::Transport::kSocketVia);
+    s.spawn("tx", [&s, a = std::move(a)]() mutable {
+      s.delay(50_ms);
+      a->send(net::Message{.bytes = 64});
+      a->close_send();
+    });
+    auto r = b->recv_for(SimTime::zero());
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().has_value());
+    EXPECT_EQ(r.value()->bytes, 64u);
+    reached_end = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached_end);
+}
+
+}  // namespace
+}  // namespace sv::sockets

@@ -1,0 +1,16 @@
+// svlint fixture: the fault-injection anti-patterns — ambient randomness
+// and address-ordered link state would both break (seed, plan) replay.
+#include <cstdlib>
+#include <map>
+#include <random>
+
+struct Node {};
+
+struct BadInjector {
+  std::random_device entropy_;                 // line 10: SV003
+  std::map<Node*, int> link_states_;           // line 11: SV005
+
+  bool drop_frame() {
+    return std::rand() % 100 < 5;              // line 14: SV002
+  }
+};

@@ -95,6 +95,22 @@ TEST(SvlintRules, Sv006CatchesFloatTimeAccumulation) {
   EXPECT_EQ(live.size(), 2u) << "integer .ns() accumulation must not trip";
 }
 
+TEST(SvlintRules, FaultInjectionAntiPatternsAllCaught) {
+  // The fault layer's determinism hinges on seeded-RNG-only randomness and
+  // value-keyed link state; the fixture seeds one violation of each kind.
+  const auto live = unsuppressed(scan_fixture("src/net/fault_unseeded.cc"));
+  EXPECT_TRUE(has(live, "SV003", 10)) << "random_device entropy source";
+  EXPECT_TRUE(has(live, "SV005", 11)) << "pointer-keyed link-state map";
+  EXPECT_TRUE(has(live, "SV002", 14)) << "libc rand() for drop decisions";
+  EXPECT_EQ(live.size(), 3u);
+}
+
+TEST(SvlintRules, SeededFaultIdiomIsClean) {
+  // The blessed shape of src/net/fault.cc: seed-derived per-link streams
+  // in a value-keyed ordered map must produce zero findings.
+  EXPECT_TRUE(scan_fixture("src/net/fault_seeded_ok.cc").empty());
+}
+
 TEST(SvlintRules, CleanFileHasNoFindings) {
   EXPECT_TRUE(scan_fixture("src/sim/clean.cc").empty())
       << "hazard words in comments/strings must be stripped; find()/"
