@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   CliParser cli("Ablation: block size vs latency and update rate");
   cli.add_int("updates", &updates, "updates per saturation measurement");
   cli.add_flag("csv", &csv, "emit CSV");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
 
   harness::Figure lat("Ablation: idle partial-update latency vs block size",
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
       harness::VizWorkloadConfig cfg;
       cfg.transport = transport;
       cfg.block_bytes = kib * 1024;
+      cfg.obs = artifacts;  // each run overwrites; the last swept run remains
       const auto x = static_cast<double>(kib);
       l.add(x, harness::measure_idle_partial_latency(cfg).us());
       r.add(x,

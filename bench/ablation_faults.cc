@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "harness/obsout.h"
 #include "harness/series.h"
 #include "net/cluster.h"
 #include "net/fault.h"
@@ -34,10 +35,12 @@ struct LossyRun {
 /// Fast-fidelity transfer over `transport`; loss is recovered inside the
 /// Pipe (per-frame recovery delay), so delivery stays in order.
 LossyRun measure_fast(net::Transport transport, double loss,
-                      std::uint64_t msg, int iters, std::uint64_t seed) {
+                      std::uint64_t msg, int iters, std::uint64_t seed,
+                      const harness::ObsArtifacts& obs = {}) {
   sim::Simulation s;
   net::Cluster cluster(&s, 2);
   cluster.install_faults(net::FaultPlan::uniform_loss(loss), seed);
+  harness::begin_obs(s, obs);
   sockets::SocketFactory factory(&s, &cluster);
   SimTime elapsed;
   s.spawn("app", [&] {
@@ -51,6 +54,7 @@ LossyRun measure_fast(net::Transport transport, double loss,
     a->close_send();
   });
   s.run();
+  harness::export_obs(s, obs);
   LossyRun r;
   r.bandwidth_mbps =
       throughput_mbps(msg * static_cast<std::uint64_t>(iters), elapsed);
@@ -64,10 +68,12 @@ LossyRun measure_fast(net::Transport transport, double loss,
 /// Detailed tcpstack transfer: every lost segment is recovered by the
 /// executed RTO / fast-retransmit machinery.
 LossyRun measure_detailed_tcp(double loss, std::uint64_t msg, int iters,
-                              std::uint64_t seed) {
+                              std::uint64_t seed,
+                              const harness::ObsArtifacts& obs = {}) {
   sim::Simulation s;
   net::Cluster cluster(&s, 2);
   cluster.install_faults(net::FaultPlan::uniform_loss(loss), seed);
+  harness::begin_obs(s, obs);
   tcpstack::TcpStack stack0(&s, &cluster.node(0));
   tcpstack::TcpStack stack1(&s, &cluster.node(1));
   LossyRun r;
@@ -85,6 +91,7 @@ LossyRun measure_detailed_tcp(double loss, std::uint64_t msg, int iters,
     a->close();
   });
   s.run();
+  harness::export_obs(s, obs);
   // Read the counters after quiescence so tail retransmissions count.
   r.segments_retransmitted = sender->segments_retransmitted();
   r.rto_expirations = sender->rto_expirations();
@@ -110,6 +117,8 @@ int main(int argc, char** argv) {
   cli.add_int("iters", &iters, "messages per measurement");
   cli.add_int("msg-kib", &msg_kib, "message size (KiB)");
   cli.add_int("seed", &seed, "fault + experiment seed");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
   const auto msg = static_cast<std::uint64_t>(msg_kib) * 1024;
   const int it = static_cast<int>(iters);
@@ -130,7 +139,8 @@ int main(int argc, char** argv) {
     via_fast.add(loss * 100,
                  measure_fast(net::Transport::kSocketVia, loss, msg, it, sd)
                      .bandwidth_mbps);
-    detail_runs.push_back(measure_detailed_tcp(loss, msg, it, sd));
+    // Artifacts capture the last (highest-loss) detailed-TCP run.
+    detail_runs.push_back(measure_detailed_tcp(loss, msg, it, sd, artifacts));
     tcp_detail.add(loss * 100, detail_runs.back().bandwidth_mbps);
   }
   fig.print(std::cout);

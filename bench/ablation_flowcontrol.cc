@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "harness/obsout.h"
 #include "harness/series.h"
 #include "net/cluster.h"
 #include "sockets/via_socket.h"
@@ -16,9 +17,10 @@ namespace sv {
 namespace {
 
 double measure_bw(const sockets::ViaSocketOptions& opt, std::uint64_t msg,
-                  int iters) {
+                  int iters, const harness::ObsArtifacts& obs) {
   sim::Simulation s;
   net::Cluster cluster(&s, 2);
+  harness::begin_obs(s, obs);
   via::Nic nic0(&s, &cluster.node(0)), nic1(&s, &cluster.node(1));
   SimTime elapsed;
   s.spawn("app", [&] {
@@ -32,6 +34,7 @@ double measure_bw(const sockets::ViaSocketOptions& opt, std::uint64_t msg,
     a->close_send();
   });
   s.run();
+  harness::export_obs(s, obs);
   return throughput_mbps(msg * static_cast<std::uint64_t>(iters), elapsed);
 }
 
@@ -46,6 +49,8 @@ int main(int argc, char** argv) {
   CliParser cli("Ablation: SocketVIA credit scheme");
   cli.add_int("iters", &iters, "messages per measurement");
   cli.add_int("msg-kib", &msg_kib, "message size (KiB)");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
   cli.add_flag("csv", &csv, "emit CSV");
   const auto msg = static_cast<std::uint64_t>(msg_kib) * 1024;
@@ -61,7 +66,7 @@ int main(int argc, char** argv) {
       opt.chunk_bytes = chunk;
       opt.credits = c;
       opt.credit_batch = std::max(1u, c / 2);
-      s.add(c, measure_bw(opt, msg, it));
+      s.add(c, measure_bw(opt, msg, it, artifacts));
     }
   }
   credits.print(std::cout);
@@ -75,7 +80,7 @@ int main(int argc, char** argv) {
     opt.chunk_bytes = 16384;
     opt.credits = 8;
     opt.credit_batch = b;
-    bs.add(b, measure_bw(opt, msg, it));
+    bs.add(b, measure_bw(opt, msg, it, artifacts));
   }
   batch.print(std::cout);
   std::cout << "reading: bandwidth saturates once credits cover the "

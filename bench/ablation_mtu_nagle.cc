@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "harness/obsout.h"
 #include "harness/series.h"
 #include "net/cluster.h"
 #include "sockets/tcp_socket.h"
@@ -18,7 +19,8 @@ struct Measures {
   double bandwidth_mbps;
 };
 
-Measures measure(const tcpstack::TcpOptions& opt) {
+Measures measure(const tcpstack::TcpOptions& opt,
+                 const harness::ObsArtifacts& obs) {
   Measures out{};
   {
     sim::Simulation s;
@@ -44,6 +46,7 @@ Measures measure(const tcpstack::TcpOptions& opt) {
   {
     sim::Simulation s;
     net::Cluster cluster(&s, 2);
+    harness::begin_obs(s, obs);  // artifacts capture the streaming run
     tcpstack::TcpStack st0(&s, &cluster.node(0)), st1(&s, &cluster.node(1));
     SimTime elapsed;
     const int kIters = 60;
@@ -59,6 +62,7 @@ Measures measure(const tcpstack::TcpOptions& opt) {
       a->close_send();
     });
     s.run();
+    harness::export_obs(s, obs);
     out.bandwidth_mbps = throughput_mbps(kMsg * kIters, elapsed);
   }
   return out;
@@ -72,12 +76,14 @@ int main(int argc, char** argv) {
   bool csv = false;
   CliParser cli("Ablation: TCP MSS / Nagle / delayed-ACK");
   cli.add_flag("csv", &csv, "emit CSV");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
 
   Table t({"configuration", "64B ping-pong one-way (us)",
            "64KiB stream (Mbps)"});
   auto row = [&](const std::string& name, const tcpstack::TcpOptions& opt) {
-    const auto m = measure(opt);
+    const auto m = measure(opt, artifacts);
     t.add_row({name, Table::num(m.pingpong_us, 2),
                Table::num(m.bandwidth_mbps, 1)});
   };

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "harness/obsout.h"
 #include "harness/series.h"
 #include "net/cluster.h"
 #include "sockets/rdma_socket.h"
@@ -158,9 +159,11 @@ double rdma_pull_latency_us(std::uint64_t block, int iters) {
 }
 
 /// Socket-level one-way latency for either message socket.
-double socket_latency_us(bool use_rdma, std::uint64_t bytes, int iters) {
+double socket_latency_us(bool use_rdma, std::uint64_t bytes, int iters,
+                         const harness::ObsArtifacts& obs) {
   sim::Simulation s;
   net::Cluster cluster(&s, 2);
+  harness::begin_obs(s, obs);
   via::Nic nic0(&s, &cluster.node(0)), nic1(&s, &cluster.node(1));
   SimTime total;
   s.spawn("app", [&] {
@@ -180,6 +183,7 @@ double socket_latency_us(bool use_rdma, std::uint64_t bytes, int iters) {
     a->close_send();
   });
   s.run();
+  harness::export_obs(s, obs);
   return total.us() / (2 * iters);
 }
 
@@ -193,6 +197,8 @@ int main(int argc, char** argv) {
   CliParser cli("Extension: RDMA push/pull vs two-sided SocketVIA");
   cli.add_int("iters", &iters, "blocks per measurement");
   cli.add_flag("csv", &csv, "emit CSV");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
   const int it = static_cast<int>(iters);
 
@@ -221,8 +227,8 @@ int main(int argc, char** argv) {
   auto& lr = lat.add_series("RDMA push socket");
   auto& lt = lat.add_series("SocketVIA socket");
   for (std::uint64_t n : {64ULL, 512ULL, 2048ULL, 8192ULL}) {
-    lr.add(static_cast<double>(n), socket_latency_us(true, n, it));
-    lt.add(static_cast<double>(n), socket_latency_us(false, n, it));
+    lr.add(static_cast<double>(n), socket_latency_us(true, n, it, artifacts));
+    lt.add(static_cast<double>(n), socket_latency_us(false, n, it, artifacts));
   }
 
   if (csv) {

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "harness/obsout.h"
 #include "harness/series.h"
 #include "net/cost_model.h"
 #include "sockets/factory.h"
@@ -69,9 +70,11 @@ SimTime via_pingpong(std::uint64_t bytes, int iters) {
 /// Ping-pong latency over a sockets backend. Latency benchmarks disable
 /// Nagle (TCP_NODELAY), as the paper's micro-benchmarks did.
 SimTime socket_pingpong(sockets::Fidelity fid, net::Transport tr,
-                        std::uint64_t bytes, int iters) {
+                        std::uint64_t bytes, int iters,
+                        const harness::ObsArtifacts* obs = nullptr) {
   sim::Simulation s;
   net::Cluster cluster(&s, 2);
+  if (obs != nullptr) harness::begin_obs(s, *obs);
   sockets::SocketFactory factory(&s, &cluster, fid);
   SimTime elapsed;
   s.spawn("app", [&] {
@@ -100,14 +103,17 @@ SimTime socket_pingpong(sockets::Fidelity fid, net::Transport tr,
     a->close_send();
   });
   s.run();
+  if (obs != nullptr) harness::export_obs(s, *obs);
   return elapsed / (2 * iters);
 }
 
 /// Streaming bandwidth (Mbps) over a sockets backend.
 double socket_bandwidth(sockets::Fidelity fid, net::Transport tr,
-                        std::uint64_t bytes, int iters) {
+                        std::uint64_t bytes, int iters,
+                        const harness::ObsArtifacts* obs = nullptr) {
   sim::Simulation s;
   net::Cluster cluster(&s, 2);
+  if (obs != nullptr) harness::begin_obs(s, *obs);
   sockets::SocketFactory factory(&s, &cluster, fid);
   SimTime elapsed;
   s.spawn("app", [&] {
@@ -123,6 +129,7 @@ double socket_bandwidth(sockets::Fidelity fid, net::Transport tr,
     a->close_send();
   });
   s.run();
+  if (obs != nullptr) harness::export_obs(s, *obs);
   return throughput_mbps(bytes * static_cast<std::uint64_t>(iters), elapsed);
 }
 
@@ -177,9 +184,11 @@ int main(int argc, char** argv) {
   using namespace sv;
   std::int64_t iters = 50;
   bool csv = false;
+  harness::ObsArtifacts artifacts;
   CliParser cli("Figure 4: latency and bandwidth micro-benchmarks");
   cli.add_int("iters", &iters, "ping-pong / streaming iterations per size");
   cli.add_flag("csv", &csv, "emit CSV instead of tables");
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
   const int it = static_cast<int>(iters);
 
@@ -221,8 +230,11 @@ int main(int argc, char** argv) {
     b_via.add(x, via_bandwidth(n, it));
     b_svia.add(x, socket_bandwidth(sockets::Fidelity::kDetailed,
                                    net::Transport::kSocketVia, n, it));
+    // The trace/metrics artifacts capture the largest detailed-TCP
+    // streaming run (the richest protocol activity in this bench).
     b_tcp.add(x, socket_bandwidth(sockets::Fidelity::kDetailed,
-                                  net::Transport::kKernelTcp, n, it));
+                                  net::Transport::kKernelTcp, n, it,
+                                  n == 65536 ? &artifacts : nullptr));
     b_svia_model.add(x, svia_model.stream_bandwidth_mbps(n));
     b_tcp_model.add(x, tcp_model.stream_bandwidth_mbps(n));
     b_fe_model.add(x, fe_model.stream_bandwidth_mbps(n));

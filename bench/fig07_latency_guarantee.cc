@@ -31,7 +31,8 @@ struct Panel {
   std::vector<double> rates;
 };
 
-void run_panel(const Panel& panel, int updates, bool csv) {
+void run_panel(const Panel& panel, int updates, bool csv,
+               const harness::ObsArtifacts& artifacts) {
   const net::CostModel tcp_model{net::CalibrationProfile::kernel_tcp()};
   const net::CostModel svia_model{net::CalibrationProfile::socket_via()};
 
@@ -56,6 +57,7 @@ void run_panel(const Panel& panel, int updates, bool csv) {
     harness::VizWorkloadConfig cfg;
     cfg.image_bytes = kImage;
     cfg.compute = panel.compute;
+    cfg.obs = artifacts;  // each run overwrites; the last swept run remains
 
     if (tcp_block < kImage) {  // TCP feasible at this rate
       cfg.transport = net::Transport::kKernelTcp;
@@ -101,6 +103,8 @@ int main(int argc, char** argv) {
   cli.add_int("updates", &updates, "complete updates measured per point");
   cli.add_flag("csv", &csv, "emit CSV instead of tables");
   cli.add_flag("quick", &quick, "fewer x points");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
 
   Panel a{"Figure 7(a): Avg latency vs updates/sec (no computation)",
@@ -112,8 +116,8 @@ int main(int argc, char** argv) {
           viz::virtual_microscope_compute(),
           quick ? std::vector<double>{2.0, 2.75, 3.25}
                 : std::vector<double>{2.0, 2.5, 2.75, 3.0, 3.25}};
-  run_panel(a, static_cast<int>(updates), csv);
-  run_panel(b, static_cast<int>(updates), csv);
+  run_panel(a, static_cast<int>(updates), csv, artifacts);
+  run_panel(b, static_cast<int>(updates), csv, artifacts);
   if (!csv) {
     std::cout << "paper shapes: TCP absent beyond ~3.25 (a) / ~3 (b) "
                  "updates/sec; SocketVIA(DR) sustains the full range with "

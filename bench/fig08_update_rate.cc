@@ -32,7 +32,8 @@ struct Panel {
 };
 
 void run_panel(const Panel& panel, const std::vector<double>& bounds_us,
-               int updates, bool csv) {
+               int updates, bool csv,
+               const harness::ObsArtifacts& artifacts) {
   const net::CostModel tcp_model{net::CalibrationProfile::kernel_tcp()};
   const net::CostModel svia_model{net::CalibrationProfile::socket_via()};
 
@@ -63,6 +64,7 @@ void run_panel(const Panel& panel, const std::vector<double>& bounds_us,
     harness::VizWorkloadConfig cfg;
     cfg.image_bytes = kImage;
     cfg.compute = panel.compute;
+    cfg.obs = artifacts;  // each run overwrites; the last swept run remains
 
     if (tcp_block > 0) {
       cfg.transport = net::Transport::kKernelTcp;
@@ -103,6 +105,8 @@ int main(int argc, char** argv) {
   cli.add_int("updates", &updates, "complete updates measured per point");
   cli.add_flag("csv", &csv, "emit CSV instead of tables");
   cli.add_flag("quick", &quick, "fewer x points");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
 
   const std::vector<double> bounds =
@@ -114,8 +118,8 @@ int main(int argc, char** argv) {
   Panel b{"Figure 8(b): Updates/sec vs latency guarantee (linear "
           "computation, 18 ns/B)",
           viz::virtual_microscope_compute()};
-  run_panel(a, bounds, static_cast<int>(updates), csv);
-  run_panel(b, bounds, static_cast<int>(updates), csv);
+  run_panel(a, bounds, static_cast<int>(updates), csv, artifacts);
+  run_panel(b, bounds, static_cast<int>(updates), csv, artifacts);
   if (!csv) {
     std::cout << "paper shapes: TCP absent at the 100us bound; "
                  "SocketVIA(DR) holds near-peak rate across bounds; with "

@@ -25,7 +25,8 @@ struct Panel {
 };
 
 void run_panel(const Panel& panel, const std::vector<double>& fractions,
-               int queries, bool csv) {
+               int queries, bool csv,
+               const harness::ObsArtifacts& artifacts) {
   harness::Figure fig(panel.title, "fraction of complete-update queries",
                       "avg response time (ms)");
   struct Config {
@@ -50,6 +51,7 @@ void run_panel(const Panel& panel, const std::vector<double>& fractions,
       cfg.block_bytes = kImage / c.partitions;
       cfg.compute = panel.compute;
       cfg.seed = 1234;
+      cfg.obs = artifacts;  // each run overwrites; the last swept run remains
       auto samples = harness::run_query_mix(cfg, f, queries);
       series.add(f, samples.mean() / 1e6);  // ns -> ms
     }
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv, "emit CSV instead of tables");
   cli.add_flag("quick", &quick, "fewer x points");
   cli.add_flag("full", &full, "the paper's full 0.1-step x axis");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
 
   const std::vector<double> fractions =
@@ -87,8 +91,8 @@ int main(int argc, char** argv) {
   Panel b{"Figure 9(b): Query mix vs response time (linear computation, "
           "18 ns/B)",
           viz::virtual_microscope_compute()};
-  run_panel(a, fractions, static_cast<int>(queries), csv);
-  run_panel(b, fractions, static_cast<int>(queries), csv);
+  run_panel(a, fractions, static_cast<int>(queries), csv, artifacts);
+  run_panel(b, fractions, static_cast<int>(queries), csv, artifacts);
   if (!csv) {
     std::cout << "paper shapes: flat lines without partitioning; with 64 "
                  "partitions TCP's slope is much steeper than SocketVIA's, "

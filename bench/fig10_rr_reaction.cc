@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "harness/obsout.h"
 #include "harness/series.h"
 #include "vizapp/loadbalance.h"
 
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
   CliParser cli("Figure 10: RR load-balancer reaction time vs heterogeneity");
   cli.add_int("total-mib", &total_mib, "dataset size (MiB)");
   cli.add_flag("csv", &csv, "emit CSV instead of tables");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
 
   harness::Figure fig("Figure 10: Load balancer reaction time (Round-Robin)",
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
     cfg.slow_worker = 1;
     cfg.slow_factor = factor;
     cfg.compute = PerByteCost::nanos_per_byte(18);
+    cfg.obs = artifacts;  // each run overwrites; the last swept run remains
 
     cfg.transport = net::Transport::kSocketVia;
     cfg.block_bytes = 2 * 1024;  // SocketVIA pipelining block

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "harness/obsout.h"
 #include "harness/series.h"
 #include "vizapp/loadbalance.h"
 
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
               "worker computation cost (ns per byte)");
   cli.add_flag("csv", &csv, "emit CSV instead of tables");
   cli.add_flag("quick", &quick, "fewer probability points");
+  harness::ObsArtifacts artifacts;
+  harness::add_obs_flags(cli, &artifacts);
   if (!cli.parse(argc, argv)) return 1;
 
   harness::Figure fig("Figure 11: Effect of heterogeneity (Demand-Driven)",
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
       cfg.slow_factor = line.factor;
       cfg.slow_probability = p / 100.0;
       cfg.seed = 99;
+      cfg.obs = artifacts;  // each run overwrites; the last swept run remains
       const auto r = viz::run_load_balance(cfg);
       series.add(p, r.exec_time.us());
     }

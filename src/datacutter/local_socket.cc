@@ -13,19 +13,22 @@ sockets::SocketPair LocalSocket::make_pair(sim::Simulation* sim,
 }
 
 void LocalSocket::send(net::Message m) {
-  stats_.messages_sent++;
-  stats_.bytes_sent += m.bytes;
+  const std::uint64_t bytes = m.bytes;
+  const SimTime start = obs_now();
   m.sent_at = sim_->now();
   sim_->delay(kHandoffCost);
   m.delivered_at = sim_->now();
   out_->send(std::move(m));
+  note_sent(bytes);
+  obs_span(start, "send", bytes);
 }
 
 std::optional<net::Message> LocalSocket::recv() {
+  const SimTime start = obs_now();
   auto m = in_->recv();
   if (m) {
-    stats_.messages_received++;
-    stats_.bytes_received += m->bytes;
+    note_received(m->bytes);
+    obs_span(start, "recv", m->bytes);
   }
   return m;
 }
@@ -33,18 +36,20 @@ std::optional<net::Message> LocalSocket::recv() {
 std::optional<net::Message> LocalSocket::try_recv() {
   auto m = in_->try_recv();
   if (m) {
-    stats_.messages_received++;
-    stats_.bytes_received += m->bytes;
+    note_received(m->bytes);
   }
   return m;
 }
 
 sv::Result<std::optional<net::Message>> LocalSocket::recv_for(
     SimTime timeout) {
+  const SimTime start = obs_now();
   auto r = in_->recv_for(timeout);
   if (r.ok() && r.value()) {
-    stats_.messages_received++;
-    stats_.bytes_received += r.value()->bytes;
+    note_received(r.value()->bytes);
+    obs_span(start, "recv", r.value()->bytes);
+  } else if (!r.ok()) {
+    note_timeout("timeout.recv");
   }
   return r;
 }

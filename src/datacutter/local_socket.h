@@ -37,7 +37,9 @@ class LocalSocket final : public sockets::SvSocket {
 
   LocalSocket(sim::Simulation* sim, net::Node* node,
               std::shared_ptr<Queue> out, std::shared_ptr<Queue> in)
-      : sim_(sim), node_(node), out_(std::move(out)), in_(std::move(in)) {}
+      : sim_(sim), node_(node), out_(std::move(out)), in_(std::move(in)) {
+    init_obs(sim_, node_->id(), node_->id(), "local");
+  }
 
   sim::Simulation* sim_;
   net::Node* node_;

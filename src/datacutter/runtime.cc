@@ -27,6 +27,9 @@ struct Runtime::Core {
         completions(sim_in, 0, "dc.completions") {}
   sim::Simulation* sim;
   RuntimeOptions options;
+  /// Metric-label prefix `r<serial>.` distinguishing this Runtime's copies
+  /// from other Runtimes sharing the simulation registry.
+  std::string obs_prefix;
   sim::Channel<UowCompletion> completions;
   /// Copies whose run loop has not finished yet; the last one out closes
   /// `completions` so timed waiters see kClosed rather than a timeout.
@@ -47,6 +50,15 @@ struct Runtime::CopyState {
   bool is_source = false;
   bool is_sink = false;
 
+  /// `r<k>.<filter><copy>` — the {copy=...} label of this copy's metrics.
+  std::string obs_label;
+  obs::Counter* c_buffers_in = nullptr;
+  obs::Counter* c_buffers_out = nullptr;
+  /// Sim-time spent blocked on the fan-in queue waiting for upstream data.
+  obs::Counter* c_blocked_ns = nullptr;
+  /// Sim-time a DD producer spent stalled at the unacknowledged-buffer cap.
+  obs::Counter* c_stall_ns = nullptr;
+
   struct OutPort {
     const StreamSpec* spec = nullptr;  // points into owned_group
     std::size_t stream_idx = 0;
@@ -54,6 +66,9 @@ struct Runtime::CopyState {
     std::vector<std::int64_t> unacked;
     std::size_t rr_next = 0;
     std::unique_ptr<sim::WaitQueue> ack_wait;  // DD producers block here
+    /// Total unacknowledged buffers across consumers (DD back-pressure
+    /// depth; max_value() is the high-water mark).
+    obs::Gauge* g_unacked = nullptr;
   };
   struct InPort {
     const StreamSpec* spec = nullptr;
@@ -72,6 +87,8 @@ struct Runtime::CopyState {
     std::vector<bool> closed;
     std::uint64_t markers_this_uow = 0;
     bool eos = false;
+    /// Fan-in queue depth (messages landed but not yet read by the filter).
+    obs::Gauge* g_queue_depth = nullptr;
   };
   std::vector<OutPort> outputs;
   std::vector<InPort> inputs;
@@ -123,6 +140,7 @@ class Runtime::ContextImpl final : public FilterContext {
       }
 
       // 3. Block for the next fan-in item.
+      const SimTime block_start = core_->sim->now();
       std::optional<CopyState::InPort::Item> item;
       if (core_->options.io_timeout > SimTime::zero()) {
         auto r = port.merged->recv_for(core_->options.io_timeout);
@@ -133,7 +151,10 @@ class Runtime::ContextImpl final : public FilterContext {
       } else {
         item = port.merged->recv();
       }
+      cs_->c_blocked_ns->inc(
+          static_cast<std::uint64_t>((core_->sim->now() - block_start).ns()));
       if (!item) return std::nullopt;  // defensive: merged never closes
+      if (item->msg) port.g_queue_depth->add(-1);
       if (!item->msg) {
         if (port.eow[item->ep]) {
           port.pending[item->ep].push_back(std::nullopt);
@@ -166,6 +187,7 @@ class Runtime::ContextImpl final : public FilterContext {
     } else {
       // Demand-driven: the copy with the fewest unacknowledged buffers;
       // block while every copy is at the outstanding-buffer cap.
+      const SimTime stall_start = core_->sim->now();
       while (true) {
         target = 0;
         for (std::size_t c = 1; c < port.socks.size(); ++c) {
@@ -191,6 +213,8 @@ class Runtime::ContextImpl final : public FilterContext {
           port.ack_wait->wait();
         }
       }
+      cs_->c_stall_ns->inc(static_cast<std::uint64_t>(
+          (core_->sim->now() - stall_start).ns()));
     }
     buffer.uow_id = current_uow_.id;
     buffer.created_at = core_->sim->now();
@@ -201,6 +225,8 @@ class Runtime::ContextImpl final : public FilterContext {
     msg.meta = std::move(buffer);
     timed_send(*port.socks[target], std::move(msg));
     ++port.unacked[target];
+    port.g_unacked->add(1);
+    cs_->c_buffers_out->inc();
     ++core_->distribution[port.stream_idx][cs_->copy][target];
   }
 
@@ -273,6 +299,7 @@ class Runtime::ContextImpl final : public FilterContext {
       throw std::logic_error("Runtime: unexpected message kind on stream");
     }
     current_uow_.id = uow_id;
+    cs_->c_buffers_in->inc();
     // DD: acknowledge when processing begins (Section 4.1).
     if (port.spec->policy == SchedPolicy::kDemandDriven) {
       net::Message ack;
@@ -299,6 +326,9 @@ Runtime::Runtime(sim::Simulation* sim, net::Cluster* cluster,
       group_(std::move(group)),
       core_(std::make_shared<Core>(sim, options)) {
   group_.validate();
+  auto& serial = sim_->obs().registry.counter("dc.runtimes");
+  serial.inc();
+  core_->obs_prefix = "r" + std::to_string(serial.value()) + ".";
 }
 
 Runtime::~Runtime() = default;
@@ -328,6 +358,16 @@ void Runtime::start() {
       cs->filter = spec.make();
       cs->is_source = inputs.empty();
       cs->is_sink = outputs.empty();
+      cs->obs_label = core_->obs_prefix + spec.name + std::to_string(c);
+      auto& reg = sim_->obs().registry;
+      cs->c_buffers_in =
+          &reg.counter("dc.buffers_in{copy=" + cs->obs_label + "}");
+      cs->c_buffers_out =
+          &reg.counter("dc.buffers_out{copy=" + cs->obs_label + "}");
+      cs->c_blocked_ns =
+          &reg.counter("dc.blocked_ns{copy=" + cs->obs_label + "}");
+      cs->c_stall_ns =
+          &reg.counter("dc.stall_ns{copy=" + cs->obs_label + "}");
       if (cs->is_source) {
         cs->uow_queue = std::make_unique<sim::Channel<Uow>>(
             sim_, 0, spec.name + std::to_string(c) + ".uows");
@@ -356,6 +396,9 @@ void Runtime::start() {
       port.ack_wait = std::make_unique<sim::WaitQueue>(
           sim_, stream.from + std::to_string(p->copy) + ".acks" +
                     std::to_string(s));
+      port.g_unacked = &sim_->obs().registry.gauge(
+          "dc.unacked{port=" + p->obs_label + ".out" + std::to_string(s) +
+          "}");
       p->outputs.push_back(std::move(port));
     }
     for (auto& c : consumers) {
@@ -369,6 +412,9 @@ void Runtime::start() {
       port.pending.resize(producers.size());
       port.eow.assign(producers.size(), false);
       port.closed.assign(producers.size(), false);
+      port.g_queue_depth = &sim_->obs().registry.gauge(
+          "dc.queue_depth{port=" + c->obs_label + ".in" + std::to_string(s) +
+          "}");
       c->inputs.push_back(std::move(port));
     }
     for (std::size_t p = 0; p < producers.size(); ++p) {
@@ -401,6 +447,7 @@ void Runtime::start() {
                     [cs, i, k] {
                       auto& port = cs->inputs[i];
                       while (auto m = port.socks[k]->recv()) {
+                        port.g_queue_depth->add(1);
                         port.merged->send(
                             CopyState::InPort::Item{k, std::move(*m)});
                       }
@@ -422,6 +469,7 @@ void Runtime::start() {
                               "Runtime: non-ack on producer return path");
                         }
                         --port.unacked[c];
+                        port.g_unacked->add(-1);
                         port.ack_wait->notify_all();
                       }
                     });
@@ -441,11 +489,20 @@ void Runtime::start() {
 void Runtime::run_copy(const std::shared_ptr<CopyState>& cs) {
   ContextImpl& ctx = *cs->ctx;
   Core& core = *cs->core;
+  // Busy timeline: one `dc.process` span per filter invocation on the
+  // copy's node (blocked/stalled slices inside are counted by
+  // dc.blocked_ns / dc.stall_ns).
+  auto process_once = [&cs, &core, &ctx] {
+    const SimTime t0 = core.sim->now();
+    cs->filter->process(ctx);
+    core.sim->obs().tracer.span(t0, core.sim->now(), cs->node->id(), "dc",
+                                "process", ctx.completed_uow_id());
+  };
   cs->filter->init(ctx);
   if (cs->is_source) {
     while (auto uow = cs->uow_queue->recv()) {
       ctx.begin_uow(std::move(*uow));
-      cs->filter->process(ctx);
+      process_once();
       ctx.send_markers();
       if (cs->is_sink) {
         core.completions.send(UowCompletion{ctx.completed_uow_id(),
@@ -455,7 +512,7 @@ void Runtime::run_copy(const std::shared_ptr<CopyState>& cs) {
     }
   } else {
     while (!ctx.at_end_of_stream()) {
-      cs->filter->process(ctx);
+      process_once();
       if (ctx.last_uow_real()) {
         ctx.send_markers();
         if (cs->is_sink) {

@@ -32,6 +32,7 @@ PacedResult run_paced_updates(const VizWorkloadConfig& cfg, double target_ups,
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.cluster_nodes);
   install_faults(cluster, cfg);
+  begin_obs(s, cfg.obs);
   sockets::SocketFactory factory(&s, &cluster);
   viz::VizApp update_app(&s, &cluster, &factory, make_app_config(cfg));
   viz::VizApp probe_app(&s, &cluster, &factory, make_app_config(cfg));
@@ -79,6 +80,7 @@ PacedResult run_paced_updates(const VizWorkloadConfig& cfg, double target_ups,
     }
   });
   s.run();
+  export_obs(s, cfg.obs);
   result.events_fired = s.events_fired();
   result.trace_digest = s.engine().trace_digest();
   result.end_time = s.now();
@@ -99,11 +101,16 @@ PacedResult run_paced_updates(const VizWorkloadConfig& cfg, double target_ups,
 SaturationResult run_saturation(const VizWorkloadConfig& cfg, int updates,
                                 int warmup, int pipeline_depth) {
   SaturationResult result;
-  result.uncontended_partial_latency = measure_idle_partial_latency(cfg);
+  // The idle probe is a separate throwaway simulation; artifacts describe
+  // the saturation run itself.
+  VizWorkloadConfig idle_cfg = cfg;
+  idle_cfg.obs = ObsArtifacts{};
+  result.uncontended_partial_latency = measure_idle_partial_latency(idle_cfg);
 
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.cluster_nodes);
   install_faults(cluster, cfg);
+  begin_obs(s, cfg.obs);
   sockets::SocketFactory factory(&s, &cluster);
   viz::VizApp app(&s, &cluster, &factory, make_app_config(cfg));
   app.start();
@@ -126,6 +133,7 @@ SaturationResult run_saturation(const VizWorkloadConfig& cfg, int updates,
     app.close();
   });
   s.run();
+  export_obs(s, cfg.obs);
 
   if (static_cast<int>(completions.size()) > warmup + 1) {
     const auto span = completions.back() -
@@ -145,6 +153,7 @@ Samples run_query_mix(const VizWorkloadConfig& cfg, double complete_fraction,
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.cluster_nodes);
   install_faults(cluster, cfg);
+  begin_obs(s, cfg.obs);
   sockets::SocketFactory factory(&s, &cluster);
   viz::VizApp app(&s, &cluster, &factory, make_app_config(cfg));
   app.start();
@@ -166,6 +175,7 @@ Samples run_query_mix(const VizWorkloadConfig& cfg, double complete_fraction,
     app.close();
   });
   s.run();
+  export_obs(s, cfg.obs);
   return responses;
 }
 
@@ -173,6 +183,7 @@ SimTime measure_idle_partial_latency(const VizWorkloadConfig& cfg) {
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.cluster_nodes);
   install_faults(cluster, cfg);
+  begin_obs(s, cfg.obs);
   sockets::SocketFactory factory(&s, &cluster);
   viz::VizApp app(&s, &cluster, &factory, make_app_config(cfg));
   app.start();
@@ -185,6 +196,7 @@ SimTime measure_idle_partial_latency(const VizWorkloadConfig& cfg) {
     app.close();
   });
   s.run();
+  export_obs(s, cfg.obs);
   return latency;
 }
 

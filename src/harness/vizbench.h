@@ -18,6 +18,7 @@
 
 #include "common/stats.h"
 #include "datacutter/group.h"
+#include "harness/obsout.h"
 #include "net/calibration.h"
 #include "net/fault.h"
 #include "vizapp/query.h"
@@ -37,6 +38,9 @@ struct VizWorkloadConfig {
   /// decision derives from `seed`, so (config, seed) still pins the
   /// trace digest bit-for-bit.
   net::FaultPlan faults = net::FaultPlan::none();
+  /// Trace / metrics artifact destinations for this run (tracing is
+  /// passive, so setting these cannot change the measured results).
+  ObsArtifacts obs;
 };
 
 /// Figure 7 point: run complete updates at `target_ups` while probing with

@@ -33,7 +33,8 @@ Cluster::Cluster(sim::Simulation* sim, int node_count, const NodeConfig& cfg)
 void Cluster::install_faults(const FaultPlan& plan, std::uint64_t seed) {
   SV_ASSERT(injector_ == nullptr, "Cluster::install_faults called twice");
   if (!plan.enabled()) return;
-  injector_ = std::make_unique<FaultInjector>(plan, seed);
+  injector_ = std::make_unique<FaultInjector>(plan, seed,
+                                              &sim_->obs().registry);
   for (auto& n : nodes_) {
     n->set_fault_injector(injector_.get());
   }

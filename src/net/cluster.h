@@ -40,6 +40,7 @@ class Node {
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Simulation& sim() const { return *sim_; }
 
   /// Runs `work` of computation on this node (blocks the calling process
   /// for the scaled duration while holding a core). Any active fault-plan

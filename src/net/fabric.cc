@@ -16,7 +16,28 @@ Pipe::State::State(sim::Simulation* sim_in, Node* src_in, Node* dst_in,
       window_waiters(sim_in, name + ".window"),
       to_wire(sim_in, 0, name + ".wire_q"),
       to_proto(sim_in, 0, name + ".proto_q"),
-      delivered(sim_in, 0, name + ".delivered_q") {}
+      delivered(sim_in, 0, name + ".delivered_q") {
+  obs::Registry& reg = sim->obs().registry;
+  // Pipe names are caller-chosen and may repeat; a creation serial keeps
+  // per-pipe metric names unique (creation order is deterministic).
+  auto& serial = reg.counter("fabric.pipes");
+  serial.inc();
+  const std::string pl =
+      "{pipe=" + name + "#" + std::to_string(serial.value()) + "}";
+  const std::string ll = "{link=" + std::to_string(src->id()) + "->" +
+                         std::to_string(dst->id()) + "}";
+  c_msgs_sent = &reg.counter("fabric.messages_sent" + pl);
+  c_bytes_sent = &reg.counter("fabric.bytes_sent" + pl);
+  c_frames_retx = &reg.counter("fabric.frames_retransmitted" + pl);
+  c_frames_retx_total = &reg.counter("fabric.frames_retransmitted");
+  c_frames_link = &reg.counter("fabric.frames" + ll);
+  c_frame_bytes_sent_link = &reg.counter("fabric.frame_bytes_sent" + ll);
+  c_frame_bytes_recv_link = &reg.counter("fabric.frame_bytes_received" + ll);
+  c_wire_ns_link = &reg.counter("fabric.wire_ns" + ll);
+  g_in_flight_link = &reg.gauge("fabric.in_flight_bytes" + ll);
+  c_msgs_recv_total = &reg.counter("fabric.messages_received");
+  h_msg_latency = &reg.histogram("fabric.msg_latency_ns");
+}
 
 Pipe::Pipe(sim::Simulation* sim, Node* src, Node* dst,
            CalibrationProfile profile, std::string name)
@@ -65,8 +86,8 @@ Result<void> Pipe::send_for(Message m, SimTime timeout) {
   const SimTime deadline = st.sim->now() + timeout;
   m.seq = st.next_seq++;
   m.sent_at = st.sim->now();
-  ++st.sent_count;
-  st.bytes_sent += m.bytes;
+  st.c_msgs_sent->inc();
+  st.c_bytes_sent->inc(m.bytes);
 
   const std::uint64_t frame_cap =
       std::max<std::uint64_t>(1, st.profile.pipeline_frame_bytes);
@@ -96,6 +117,9 @@ Result<void> Pipe::send_for(Message m, SimTime timeout) {
       }
     }
     st.in_flight_bytes += flen;
+    st.g_in_flight_link->add(static_cast<std::int64_t>(flen));
+    st.c_frames_link->inc();
+    st.c_frame_bytes_sent_link->inc(flen);
     Frame f;
     f.bytes = flen;
     f.first = first;
@@ -139,12 +163,14 @@ Node& Pipe::dst() const { return *st_->dst; }
 
 const std::string& Pipe::name() const { return st_->name; }
 
-std::uint64_t Pipe::messages_sent() const { return st_->sent_count; }
+std::uint64_t Pipe::messages_sent() const {
+  return st_->c_msgs_sent->value();
+}
 
-std::uint64_t Pipe::bytes_sent() const { return st_->bytes_sent; }
+std::uint64_t Pipe::bytes_sent() const { return st_->c_bytes_sent->value(); }
 
 std::uint64_t Pipe::frames_retransmitted() const {
-  return st_->frames_retransmitted;
+  return st_->c_frames_retx->value();
 }
 
 void Pipe::State::wire_loop() {
@@ -152,6 +178,7 @@ void Pipe::State::wire_loop() {
     const bool eof = f->eof;
     // Inbound link / DMA occupancy at the destination (EOF is free).
     if (!eof) {
+      const SimTime wire_start = sim->now();
       dst->link_in().use(model.wire_time(f->bytes));
       if (FaultInjector* inj = src->fault_injector()) {
         FaultDecision d = inj->on_frame(src->id(), dst->id());
@@ -159,7 +186,10 @@ void Pipe::State::wire_loop() {
           // Lost on the wire. The fast fabric models the transport *after*
           // recovery, so charge the recovery pause plus a full re-crossing
           // and keep delivery reliable and in-order.
-          ++frames_retransmitted;
+          c_frames_retx->inc();
+          c_frames_retx_total->inc();
+          sim->obs().tracer.instant(sim->now(), dst->id(), "fabric", "retx",
+                                    f->bytes);
           sim->delay(d.recovery_delay);
           dst->link_in().use(model.wire_time(f->bytes));
           d = inj->on_frame(src->id(), dst->id());
@@ -168,6 +198,11 @@ void Pipe::State::wire_loop() {
         // frames cannot reorder; the pipe's in-order contract holds.
         if (d.extra_delay > SimTime::zero()) sim->delay(d.extra_delay);
       }
+      const SimTime wire_end = sim->now();
+      c_wire_ns_link->inc(static_cast<std::uint64_t>(
+          (wire_end - wire_start).ns()));
+      sim->obs().tracer.span(wire_start, wire_end, dst->id(), "fabric",
+                             "wire", f->bytes);
     }
     // Propagation is latency, not occupancy: hand off without blocking this
     // stage so back-to-back frames overlap their flight time. EOF takes the
@@ -189,12 +224,19 @@ void Pipe::State::proto_loop() {
       break;
     }
     // Receiver-side protocol processing (the kernel-TCP bottleneck).
+    const SimTime rx_start = sim->now();
     dst->rx_proto().use(recv_frame_time(*f));
+    sim->obs().tracer.span(rx_start, sim->now(), dst->id(), "fabric",
+                           "rx_proto", f->bytes);
+    c_frame_bytes_recv_link->inc(f->bytes);
     // Return window credit.
     in_flight_bytes -= f->bytes;
+    g_in_flight_link->add(-static_cast<std::int64_t>(f->bytes));
     window_waiters.notify_all();
     if (f->last) {
       f->msg.delivered_at = sim->now();
+      c_msgs_recv_total->inc();
+      h_msg_latency->observe((f->msg.delivered_at - f->msg.sent_at).ns());
       if (!delivered.closed()) {
         delivered.send(std::move(f->msg));
       }

@@ -128,10 +128,22 @@ class Pipe {
     std::string name;
 
     std::uint64_t next_seq = 0;
-    std::uint64_t sent_count = 0;
-    std::uint64_t bytes_sent = 0;
-    std::uint64_t frames_retransmitted = 0;
     bool closed = false;
+
+    // Registry-backed statistics (bound in the constructor): per-pipe
+    // totals under `{pipe=<name>#<serial>}` plus per-link aggregates
+    // shared by every pipe crossing the same (src, dst) link.
+    obs::Counter* c_msgs_sent;
+    obs::Counter* c_bytes_sent;
+    obs::Counter* c_frames_retx;
+    obs::Counter* c_frames_retx_total;
+    obs::Counter* c_frames_link;
+    obs::Counter* c_frame_bytes_sent_link;
+    obs::Counter* c_frame_bytes_recv_link;
+    obs::Counter* c_wire_ns_link;
+    obs::Gauge* g_in_flight_link;
+    obs::Counter* c_msgs_recv_total;
+    obs::Histogram* h_msg_latency;
 
     std::uint64_t in_flight_bytes = 0;
     sim::WaitQueue window_waiters;

@@ -11,8 +11,16 @@ bool FaultPlan::enabled() const {
                      [](const auto& kv) { return kv.second.enabled(); });
 }
 
-FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
-    : plan_(std::move(plan)), seed_(seed) {}
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed,
+                             obs::Registry* registry)
+    : plan_(std::move(plan)),
+      seed_(seed),
+      owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                          : nullptr),
+      registry_(registry == nullptr ? owned_registry_.get() : registry),
+      frames_seen_(&registry_->counter("fault.frames_seen")),
+      frames_dropped_(&registry_->counter("fault.frames_dropped")),
+      frames_delayed_(&registry_->counter("fault.frames_delayed")) {}
 
 FaultInjector::LinkState& FaultInjector::link_state(int src, int dst) {
   const std::pair<int, int> key{src, dst};
@@ -26,6 +34,11 @@ FaultInjector::LinkState& FaultInjector::link_state(int src, int dst) {
                  static_cast<std::uint32_t>(dst));
     const std::uint64_t link_seed = splitmix64_next(mix);
     it = link_states_.emplace(key, LinkState(link_seed)).first;
+    const std::string link = "{link=" + std::to_string(src) + "->" +
+                             std::to_string(dst) + "}";
+    it->second.seen = &registry_->counter("fault.frames_seen" + link);
+    it->second.dropped = &registry_->counter("fault.frames_dropped" + link);
+    it->second.delayed = &registry_->counter("fault.frames_delayed" + link);
   }
   return it->second;
 }
@@ -38,7 +51,8 @@ FaultDecision FaultInjector::on_frame(int src, int dst) {
 
   LinkState& st = link_state(src, dst);
   const std::uint64_t frame = st.next_frame++;
-  ++frames_seen_;
+  frames_seen_->inc();
+  st.seen->inc();
 
   if (std::find(spec.drop_frames.begin(), spec.drop_frames.end(), frame) !=
       spec.drop_frames.end()) {
@@ -49,14 +63,18 @@ FaultDecision FaultInjector::on_frame(int src, int dst) {
   }
   st.in_burst = d.drop && spec.burst_continue > 0.0;
   if (d.drop) {
-    ++frames_dropped_;
+    frames_dropped_->inc();
+    st.dropped->inc();
     return d;
   }
 
   if (spec.max_jitter > SimTime::zero()) {
     d.extra_delay =
         SimTime(st.rng.uniform_int(0, spec.max_jitter.ns()));
-    if (d.extra_delay > SimTime::zero()) ++frames_delayed_;
+    if (d.extra_delay > SimTime::zero()) {
+      frames_delayed_->inc();
+      st.delayed->inc();
+    }
   }
   return d;
 }

@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace sv::net {
 
@@ -107,7 +109,13 @@ struct FaultDecision {
 /// created on demand but their state depends only on (seed, src, dst).
 class FaultInjector {
  public:
-  FaultInjector(FaultPlan plan, std::uint64_t seed);
+  /// `registry` receives the injector's counters (aggregate
+  /// `fault.frames_*` plus per-link `fault.frames_*{link=s->d}`); pass the
+  /// simulation's registry so drops/jitter show up in snapshots next to
+  /// every other metric. When null the injector owns a private registry,
+  /// keeping the accessors below working standalone.
+  FaultInjector(FaultPlan plan, std::uint64_t seed,
+                obs::Registry* registry = nullptr);
 
   /// Decides the fate of the next frame crossing link (src, dst).
   FaultDecision on_frame(int src, int dst);
@@ -119,19 +127,28 @@ class FaultInjector {
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
-  [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+  /// Aggregate counters (forward to the registry; per-link breakdowns live
+  /// under `fault.frames_*{link=s->d}` in snapshots).
+  [[nodiscard]] std::uint64_t frames_seen() const {
+    return frames_seen_->value();
+  }
   [[nodiscard]] std::uint64_t frames_dropped() const {
-    return frames_dropped_;
+    return frames_dropped_->value();
   }
   [[nodiscard]] std::uint64_t frames_delayed() const {
-    return frames_delayed_;
+    return frames_delayed_->value();
   }
+  [[nodiscard]] obs::Registry& registry() { return *registry_; }
 
  private:
   struct LinkState {
     Rng rng;
     std::uint64_t next_frame = 0;
     bool in_burst = false;
+    // Per-link registry counters, bound when the link is first touched.
+    obs::Counter* seen = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* delayed = nullptr;
 
     explicit LinkState(std::uint64_t link_seed) : rng(link_seed) {}
   };
@@ -140,12 +157,14 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::uint64_t seed_;
+  std::unique_ptr<obs::Registry> owned_registry_;  // fallback when detached
+  obs::Registry* registry_;
   // Ordered map keyed by node-id pairs: iteration order (never used for
   // decisions anyway) is value-determined, per the determinism contract.
   std::map<std::pair<int, int>, LinkState> link_states_;
-  std::uint64_t frames_seen_ = 0;
-  std::uint64_t frames_dropped_ = 0;
-  std::uint64_t frames_delayed_ = 0;
+  obs::Counter* frames_seen_;
+  obs::Counter* frames_dropped_;
+  obs::Counter* frames_delayed_;
 };
 
 }  // namespace sv::net

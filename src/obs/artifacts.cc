@@ -1,0 +1,44 @@
+#include "obs/artifacts.h"
+
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+
+namespace sv::obs {
+namespace {
+
+void write_file(const std::string& path, const std::string& what,
+                const std::function<void(std::ostream&)>& emit) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("obs: cannot open " + what + " destination '" +
+                             path + "'");
+  }
+  emit(os);
+  if (!os) {
+    throw std::runtime_error("obs: failed writing " + what + " to '" + path +
+                             "'");
+  }
+}
+
+}  // namespace
+
+void begin_artifacts(Hub& hub, const Artifacts& artifacts) {
+  if (artifacts.want_trace()) hub.tracer.enable();
+}
+
+void export_artifacts(const Hub& hub, const Artifacts& artifacts) {
+  if (!artifacts.trace_path.empty()) {
+    write_file(artifacts.trace_path, "trace", [&](std::ostream& os) {
+      hub.tracer.write_chrome_json(os);
+    });
+  }
+  if (!artifacts.metrics_path.empty()) {
+    write_file(artifacts.metrics_path, "metrics", [&](std::ostream& os) {
+      hub.registry.write_json(os);
+    });
+  }
+}
+
+}  // namespace sv::obs

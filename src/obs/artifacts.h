@@ -1,0 +1,36 @@
+// Artifact destinations for a run's observability output: a Chrome
+// trace_event JSON of the tracer ring and/or a JSON snapshot of the
+// metrics registry. Lives in obs (not the bench harness) so mid-stack
+// experiment drivers (e.g. viz::run_load_balance) can carry destinations
+// in their config structs without depending on the CLI layer.
+#pragma once
+
+#include <string>
+
+#include "obs/hub.h"
+
+namespace sv::obs {
+
+struct Artifacts {
+  /// Chrome trace_event JSON (load in chrome://tracing or Perfetto);
+  /// empty = don't write.
+  std::string trace_path;
+  /// Registry::write_json snapshot; empty = don't write.
+  std::string metrics_path;
+
+  [[nodiscard]] bool any() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+  [[nodiscard]] bool want_trace() const { return !trace_path.empty(); }
+};
+
+/// Turns the hub's tracer on when a trace artifact is requested. Call
+/// before traffic starts; tracing is passive, so this cannot change
+/// simulated results (DESIGN.md §9).
+void begin_artifacts(Hub& hub, const Artifacts& artifacts);
+
+/// Writes the requested artifacts; throws std::runtime_error when a
+/// destination cannot be opened or written.
+void export_artifacts(const Hub& hub, const Artifacts& artifacts);
+
+}  // namespace sv::obs

@@ -1,0 +1,15 @@
+// The per-simulation observability bundle: one Tracer + one Registry,
+// owned by sim::Engine and reachable as `sim.obs()` from any layer.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sv::obs {
+
+struct Hub {
+  Tracer tracer;
+  Registry registry;
+};
+
+}  // namespace sv::obs

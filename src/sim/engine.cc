@@ -31,6 +31,10 @@ constexpr std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
 
 }  // namespace
 
+Engine::Engine()
+    : fired_(&obs_.registry.counter("sim.events_fired")),
+      cancelled_count_(&obs_.registry.counter("sim.events_cancelled")) {}
+
 std::uint64_t Engine::schedule_at(SimTime t, Handler fn) {
   SV_ASSERT(t >= now_, "Engine::schedule_at: time in the past (t=" +
                            t.to_string() + " now=" + now_.to_string() + ")");
@@ -52,6 +56,7 @@ bool Engine::cancel(std::uint64_t id) {
   cancelled_.insert(id);
   SV_DCHECK(live_events_ > 0, "cancel with no live events");
   --live_events_;
+  cancelled_count_->inc();
   return true;
 }
 
@@ -60,7 +65,7 @@ void Engine::note_fired(const Event& ev) {
   now_ = ev.time;
   pending_ids_.erase(ev.id);
   --live_events_;
-  ++fired_;
+  fired_->inc();
   digest_ = fnv1a_mix(digest_, static_cast<std::uint64_t>(ev.time.ns()));
   digest_ = fnv1a_mix(digest_, ev.id);
 }

@@ -14,12 +14,15 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/hub.h"
 
 namespace sv::sim {
 
 class Engine {
  public:
   using Handler = std::function<void()>;
+
+  Engine();
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -46,7 +49,14 @@ class Engine {
   /// Runs events with time <= t, then advances the clock to exactly t.
   void run_until(SimTime t);
 
-  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t events_fired() const {
+    return fired_->value();
+  }
+
+  /// The simulation-wide observability bundle (tracer + metrics registry).
+  /// Every layer reaches it through here; see DESIGN.md §9.
+  [[nodiscard]] obs::Hub& obs() { return obs_; }
+  [[nodiscard]] const obs::Hub& obs() const { return obs_; }
 
   /// FNV-1a hash over the (time, id) pairs of every fired event, in firing
   /// order. Two runs of the same seeded experiment must produce identical
@@ -81,8 +91,12 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::size_t live_events_ = 0;
-  std::uint64_t fired_ = 0;
   bool in_handler_ = false;
+  obs::Hub obs_;
+  // Registry-backed event counters (sim.events_fired / sim.events_cancelled);
+  // created once in the constructor, bumped on the hot path.
+  obs::Counter* fired_ = nullptr;
+  obs::Counter* cancelled_count_ = nullptr;
   std::uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   // Ids of events currently in the queue and not cancelled. Membership makes

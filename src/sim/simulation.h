@@ -59,6 +59,8 @@ class Simulation {
 
   [[nodiscard]] SimTime now() const { return engine_.now(); }
   [[nodiscard]] Engine& engine() { return engine_; }
+  /// Observability bundle (tracer + metrics registry); see DESIGN.md §9.
+  [[nodiscard]] obs::Hub& obs() { return engine_.obs(); }
 
   /// Runs until no events remain (blocked processes may still exist — that
   /// models processes waiting forever). Rethrows the first process error.

@@ -8,50 +8,65 @@ SocketPair FastSocket::make_pair(sim::Simulation* sim, net::Node* a,
                                  const std::string& name) {
   auto ab = std::make_shared<net::Pipe>(sim, a, b, profile, name + ".ab");
   auto ba = std::make_shared<net::Pipe>(sim, b, a, profile, name + ".ba");
-  std::unique_ptr<SvSocket> sa(new FastSocket(transport, a, ab, ba));
-  std::unique_ptr<SvSocket> sb(new FastSocket(transport, b, ba, ab));
+  std::unique_ptr<SvSocket> sa(new FastSocket(sim, transport, a, b, ab, ba));
+  std::unique_ptr<SvSocket> sb(new FastSocket(sim, transport, b, a, ba, ab));
   return {std::move(sa), std::move(sb)};
 }
 
+FastSocket::FastSocket(sim::Simulation* sim, net::Transport transport,
+                       net::Node* node, net::Node* peer,
+                       std::shared_ptr<net::Pipe> out,
+                       std::shared_ptr<net::Pipe> in)
+    : transport_(transport), node_(node), out_(std::move(out)),
+      in_(std::move(in)) {
+  init_obs(sim, node->id(), peer->id(), "fast");
+}
+
 void FastSocket::send(net::Message m) {
-  stats_.messages_sent++;
-  stats_.bytes_sent += m.bytes;
+  const std::uint64_t bytes = m.bytes;
+  const SimTime start = obs_now();
   out_->send(std::move(m));
+  note_sent(bytes);
+  obs_span(start, "send", bytes);
 }
 
 std::optional<net::Message> FastSocket::recv() {
+  const SimTime start = obs_now();
   auto m = in_->recv();
   if (m) {
-    stats_.messages_received++;
-    stats_.bytes_received += m->bytes;
+    note_received(m->bytes);
+    obs_span(start, "recv", m->bytes);
   }
   return m;
 }
 
 std::optional<net::Message> FastSocket::try_recv() {
   auto m = in_->try_recv();
-  if (m) {
-    stats_.messages_received++;
-    stats_.bytes_received += m->bytes;
-  }
+  if (m) note_received(m->bytes);
   return m;
 }
 
 Result<std::optional<net::Message>> FastSocket::recv_for(SimTime timeout) {
+  const SimTime start = obs_now();
   auto r = in_->recv_for(timeout);
   if (r.ok() && r.value()) {
-    stats_.messages_received++;
-    stats_.bytes_received += r.value()->bytes;
+    note_received(r.value()->bytes);
+    obs_span(start, "recv", r.value()->bytes);
+  } else if (!r.ok()) {
+    note_timeout("timeout.recv");
   }
   return r;
 }
 
 Result<void> FastSocket::send_for(net::Message m, SimTime timeout) {
   const std::uint64_t bytes = m.bytes;
+  const SimTime start = obs_now();
   auto r = out_->send_for(std::move(m), timeout);
   if (r.ok()) {
-    stats_.messages_sent++;
-    stats_.bytes_sent += bytes;
+    note_sent(bytes);
+    obs_span(start, "send", bytes);
+  } else {
+    note_timeout("timeout.window");
   }
   return r;
 }

@@ -29,12 +29,9 @@ class FastSocket final : public SvSocket {
   [[nodiscard]] net::Node& local_node() const override { return *node_; }
 
  private:
-  FastSocket(net::Transport transport, net::Node* node,
-             std::shared_ptr<net::Pipe> out, std::shared_ptr<net::Pipe> in)
-      : transport_(transport),
-        node_(node),
-        out_(std::move(out)),
-        in_(std::move(in)) {}
+  FastSocket(sim::Simulation* sim, net::Transport transport, net::Node* node,
+             net::Node* peer, std::shared_ptr<net::Pipe> out,
+             std::shared_ptr<net::Pipe> in);
 
   net::Transport transport_;
   net::Node* node_;

@@ -12,6 +12,13 @@ RdmaPushSocket::Side::Side(sim::Simulation* sim, int index)
 
 RdmaPushSocket::~RdmaPushSocket() = default;
 
+RdmaPushSocket::RdmaPushSocket(std::shared_ptr<PairState> state, int side)
+    : state_(std::move(state)), side_(side) {
+  const Side& me = mine();
+  const Side& peer = state_->sides[static_cast<std::size_t>(1 - side_)];
+  init_obs(state_->sim, me.nic->node().id(), peer.nic->node().id(), "rdma");
+}
+
 SocketPair RdmaPushSocket::make_pair(via::Nic& a, via::Nic& b,
                                      RdmaSocketOptions options) {
   if (options.ring_slots == 0 || options.credit_batch == 0 ||
@@ -147,8 +154,7 @@ Result<void> RdmaPushSocket::send_impl(net::Message m, bool timed,
   if (me.send_closed) {
     throw std::logic_error("RdmaPushSocket::send after close");
   }
-  stats_.messages_sent++;
-  stats_.bytes_sent += m.bytes;
+  const SimTime start = obs_now();
   m.sent_at = state_->sim->now();
 
   const std::uint64_t slot_bytes = state_->options.slot_bytes;
@@ -171,6 +177,7 @@ Result<void> RdmaPushSocket::send_impl(net::Message m, bool timed,
         continue;
       }
       if (me.slots == 0) {
+        note_timeout("timeout.slot_stall");
         return Error::timeout(
             "RdmaPushSocket: slot stall — receiver returned no ring slots "
             "before the send deadline");
@@ -196,24 +203,30 @@ Result<void> RdmaPushSocket::send_impl(net::Message m, bool timed,
     while (me.vi->send_cq().poll()) {
     }
   }
+  note_sent(total);
+  obs_span(start, "send", total);
   return Result<void>::success();
 }
 
 std::optional<net::Message> RdmaPushSocket::recv() {
+  const SimTime start = obs_now();
   auto m = mine().delivered.recv();
   if (m) {
-    stats_.messages_received++;
-    stats_.bytes_received += m->bytes;
+    note_received(m->bytes);
+    obs_span(start, "recv", m->bytes);
   }
   return m;
 }
 
 Result<std::optional<net::Message>> RdmaPushSocket::recv_for(
     SimTime timeout) {
+  const SimTime start = obs_now();
   auto r = mine().delivered.recv_for(timeout);
   if (r.ok() && r.value()) {
-    stats_.messages_received++;
-    stats_.bytes_received += r.value()->bytes;
+    note_received(r.value()->bytes);
+    obs_span(start, "recv", r.value()->bytes);
+  } else if (!r.ok()) {
+    note_timeout("timeout.recv");
   }
   return r;
 }
@@ -221,8 +234,7 @@ Result<std::optional<net::Message>> RdmaPushSocket::recv_for(
 std::optional<net::Message> RdmaPushSocket::try_recv() {
   auto m = mine().delivered.try_recv();
   if (m) {
-    stats_.messages_received++;
-    stats_.bytes_received += m->bytes;
+    note_received(m->bytes);
   }
   return m;
 }

@@ -100,8 +100,7 @@ class RdmaPushSocket final : public SvSocket {
     void demux_loop(int i);
   };
 
-  RdmaPushSocket(std::shared_ptr<PairState> state, int side)
-      : state_(std::move(state)), side_(side) {}
+  RdmaPushSocket(std::shared_ptr<PairState> state, int side);
 
   Result<void> send_impl(net::Message m, bool timed, SimTime deadline);
 

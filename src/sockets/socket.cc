@@ -1,0 +1,87 @@
+#include "sockets/socket.h"
+
+#include "sim/simulation.h"
+
+namespace sv::sockets {
+
+void SvSocket::init_obs(sim::Simulation* sim, int local_node, int peer_node,
+                        std::string_view transport_label) {
+  sim_ = sim;
+  hub_ = &sim->obs();
+  node_id_ = local_node;
+  label_ = std::string(transport_label);
+  obs::Registry& reg = hub_->registry;
+  // Endpoint serial keeps per-socket metric names unique; creation order is
+  // deterministic per seed, so names are stable across runs.
+  auto& serial = reg.counter("socket.instances");
+  serial.inc();
+  const std::string sl =
+      "{socket=" + label_ + "." + std::to_string(serial.value()) + "}";
+  const std::string ll = "{link=" + std::to_string(local_node) + "->" +
+                         std::to_string(peer_node) + "}";
+  c_msgs_sent_ = &reg.counter("socket.messages_sent" + sl);
+  c_bytes_sent_ = &reg.counter("socket.bytes_sent" + sl);
+  c_msgs_recv_ = &reg.counter("socket.messages_received" + sl);
+  c_bytes_recv_ = &reg.counter("socket.bytes_received" + sl);
+  c_timeouts_ = &reg.counter("socket.timeouts" + sl);
+  c_msgs_sent_total_ = &reg.counter("socket.messages_sent");
+  c_msgs_recv_total_ = &reg.counter("socket.messages_received");
+  c_timeouts_total_ = &reg.counter("socket.timeouts");
+  c_timeouts_link_ = &reg.counter("socket.timeouts" + ll);
+  h_msg_bytes_ = &reg.histogram("socket.msg_bytes",
+                                obs::Registry::size_bounds_bytes());
+}
+
+SocketStats SvSocket::stats() const {
+  SocketStats s;
+  if (c_msgs_sent_ == nullptr) return s;
+  s.messages_sent = c_msgs_sent_->value();
+  s.bytes_sent = c_bytes_sent_->value();
+  s.messages_received = c_msgs_recv_->value();
+  s.bytes_received = c_bytes_recv_->value();
+  s.timeouts = c_timeouts_->value();
+  return s;
+}
+
+void SvSocket::note_sent(std::uint64_t bytes) {
+  if (c_msgs_sent_ == nullptr) return;
+  c_msgs_sent_->inc();
+  c_bytes_sent_->inc(bytes);
+  c_msgs_sent_total_->inc();
+  h_msg_bytes_->observe(static_cast<std::int64_t>(bytes));
+}
+
+void SvSocket::note_received(std::uint64_t bytes) {
+  if (c_msgs_recv_ == nullptr) return;
+  c_msgs_recv_->inc();
+  c_bytes_recv_->inc(bytes);
+  c_msgs_recv_total_->inc();
+}
+
+void SvSocket::note_timeout(std::string_view op) {
+  if (c_timeouts_ == nullptr) return;
+  c_timeouts_->inc();
+  c_timeouts_total_->inc();
+  c_timeouts_link_->inc();
+  if (hub_->tracer.enabled()) {
+    std::string name(label_);
+    name += '.';
+    name += op;
+    hub_->tracer.instant(sim_->now(), node_id_, "socket", name);
+  }
+}
+
+void SvSocket::obs_span(SimTime start, std::string_view op,
+                        std::uint64_t bytes) {
+  if (hub_ == nullptr || !hub_->tracer.enabled()) return;
+  std::string name(label_);
+  name += '.';
+  name += op;
+  hub_->tracer.span(start, sim_->now(), node_id_, "socket", name, bytes);
+}
+
+SimTime SvSocket::obs_now() const {
+  return sim_ == nullptr ? SimTime::zero() : sim_->now();
+}
+
+}  // namespace sv::sockets

@@ -21,20 +21,31 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "net/calibration.h"
 #include "net/fabric.h"
+#include "obs/hub.h"
 
 namespace sv::sockets {
 
 enum class Fidelity { kFast, kDetailed };
 
+/// Value snapshot assembled from the socket's obs::Registry counters by
+/// SvSocket::stats(); the live counts are registry-owned (DESIGN.md §9).
 struct SocketStats {
+  // svlint:allow(SV007) — snapshot POD, not a live counter
   std::uint64_t messages_sent = 0;
+  // svlint:allow(SV007) — snapshot POD, not a live counter
   std::uint64_t bytes_sent = 0;
+  // svlint:allow(SV007) — snapshot POD, not a live counter
   std::uint64_t messages_received = 0;
+  // svlint:allow(SV007) — snapshot POD, not a live counter
   std::uint64_t bytes_received = 0;
+  /// Timed operations that returned ErrorCode::kTimeout on this socket.
+  // svlint:allow(SV007) — snapshot POD, not a live counter
+  std::uint64_t timeouts = 0;
 };
 
 /// A connected, bidirectional, message-oriented blocking socket endpoint.
@@ -71,10 +82,42 @@ class SvSocket {
 
   [[nodiscard]] virtual net::Transport transport() const = 0;
   [[nodiscard]] virtual net::Node& local_node() const = 0;
-  [[nodiscard]] const SocketStats& stats() const { return stats_; }
+  /// Snapshot of this socket's registry counters (zeros before init_obs).
+  [[nodiscard]] SocketStats stats() const;
 
  protected:
-  SocketStats stats_;
+  /// Binds this endpoint's counters into the simulation registry: per-socket
+  /// `socket.*{socket=<label>.<serial>}`, aggregate `socket.*`, and per-link
+  /// `socket.timeouts{link=a->b}`. Concrete transports call this once from
+  /// their constructor, as soon as both endpoints' nodes are known.
+  void init_obs(sim::Simulation* sim, int local_node, int peer_node,
+                std::string_view transport_label);
+  /// Counter bumps for every accepted send / delivered receive.
+  void note_sent(std::uint64_t bytes);
+  void note_received(std::uint64_t bytes);
+  /// A timed operation gave up: counts per-socket, per-link and aggregate,
+  /// and drops a trace instant naming the stall reason (`op`, e.g.
+  /// "timeout.credit_stall").
+  void note_timeout(std::string_view op);
+  /// Records span [start, now] as `socket.<label>.<op>` on the local node.
+  void obs_span(SimTime start, std::string_view op, std::uint64_t bytes);
+  [[nodiscard]] SimTime obs_now() const;
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+  obs::Hub* hub_ = nullptr;
+  int node_id_ = -1;
+  std::string label_;
+  obs::Counter* c_msgs_sent_ = nullptr;
+  obs::Counter* c_bytes_sent_ = nullptr;
+  obs::Counter* c_msgs_recv_ = nullptr;
+  obs::Counter* c_bytes_recv_ = nullptr;
+  obs::Counter* c_timeouts_ = nullptr;
+  obs::Counter* c_msgs_sent_total_ = nullptr;
+  obs::Counter* c_msgs_recv_total_ = nullptr;
+  obs::Counter* c_timeouts_total_ = nullptr;
+  obs::Counter* c_timeouts_link_ = nullptr;
+  obs::Histogram* h_msg_bytes_ = nullptr;
 };
 
 using SocketPair =

@@ -38,8 +38,8 @@ net::Node& DetailedTcpSocket::local_node() const {
 }
 
 void DetailedTcpSocket::send(net::Message m) {
-  stats_.messages_sent++;
-  stats_.bytes_sent += m.bytes;
+  const std::uint64_t bytes = m.bytes;
+  const SimTime start = obs_now();
   m.sent_at = conn_->stack().sim().now();
   const std::uint64_t frame = kHeaderBytes + m.bytes;
   // Metadata rides an in-order side queue; the frame bytes go through the
@@ -47,9 +47,12 @@ void DetailedTcpSocket::send(net::Message m) {
   outgoing_->metas.push_back(std::move(m));
   outgoing_->meta_available.notify_all();
   conn_->send(frame);
+  note_sent(bytes);
+  obs_span(start, "send", bytes);
 }
 
 std::optional<net::Message> DetailedTcpSocket::recv() {
+  const SimTime start = obs_now();
   while (incoming_->metas.empty()) {
     incoming_->meta_available.wait();
   }
@@ -61,20 +64,22 @@ std::optional<net::Message> DetailedTcpSocket::recv() {
   incoming_->metas.pop_front();
   conn_->recv_exact(kHeaderBytes + m.bytes);
   m.delivered_at = conn_->stack().sim().now();
-  stats_.messages_received++;
-  stats_.bytes_received += m.bytes;
+  note_received(m.bytes);
+  obs_span(start, "recv", m.bytes);
   return m;
 }
 
 Result<std::optional<net::Message>> DetailedTcpSocket::recv_for(
     SimTime timeout) {
   if (timeout <= SimTime::zero()) return recv();
+  const SimTime start = obs_now();
   const SimTime deadline = conn_->stack().sim().now() + timeout;
   while (incoming_->metas.empty()) {
     const SimTime left = deadline - conn_->stack().sim().now();
     if (left <= SimTime::zero() ||
         !incoming_->meta_available.wait_for(left)) {
       if (!incoming_->metas.empty()) break;  // raced with a late arrival
+      note_timeout("timeout.recv");
       return Error::timeout("DetailedTcpSocket: recv timed out");
     }
   }
@@ -87,15 +92,19 @@ Result<std::optional<net::Message>> DetailedTcpSocket::recv_for(
   const std::uint64_t frame = kHeaderBytes + incoming_->metas.front().bytes;
   const SimTime left = deadline - conn_->stack().sim().now();
   if (left <= SimTime::zero()) {
+    note_timeout("timeout.recv");
     return Error::timeout("DetailedTcpSocket: recv timed out");
   }
   auto drained = conn_->recv_exact_for(frame, left);
-  if (!drained.ok()) return drained.error();
+  if (!drained.ok()) {
+    note_timeout("timeout.recv_drain");
+    return drained.error();
+  }
   net::Message m = std::move(incoming_->metas.front());
   incoming_->metas.pop_front();
   m.delivered_at = conn_->stack().sim().now();
-  stats_.messages_received++;
-  stats_.bytes_received += m.bytes;
+  note_received(m.bytes);
+  obs_span(start, "recv", m.bytes);
   return std::optional<net::Message>(std::move(m));
 }
 
@@ -104,13 +113,20 @@ Result<void> DetailedTcpSocket::send_for(net::Message m, SimTime timeout) {
     send(std::move(m));
     return Result<void>::success();
   }
-  stats_.messages_sent++;
-  stats_.bytes_sent += m.bytes;
+  const std::uint64_t bytes = m.bytes;
+  const SimTime start = obs_now();
   m.sent_at = conn_->stack().sim().now();
   const std::uint64_t frame = kHeaderBytes + m.bytes;
   outgoing_->metas.push_back(std::move(m));
   outgoing_->meta_available.notify_all();
-  return conn_->send_for(frame, timeout);
+  auto r = conn_->send_for(frame, timeout);
+  if (r.ok()) {
+    note_sent(bytes);
+    obs_span(start, "send", bytes);
+  } else {
+    note_timeout("timeout.sndbuf");
+  }
+  return r;
 }
 
 std::optional<net::Message> DetailedTcpSocket::try_recv() {

@@ -53,7 +53,10 @@ class DetailedTcpSocket final : public SvSocket {
                     std::shared_ptr<Direction> incoming)
       : conn_(std::move(conn)),
         outgoing_(std::move(outgoing)),
-        incoming_(std::move(incoming)) {}
+        incoming_(std::move(incoming)) {
+    init_obs(&conn_->stack().sim(), conn_->stack().node().id(),
+             conn_->peer_node().id(), "tcp");
+  }
 
   std::shared_ptr<tcpstack::TcpConnection> conn_;
   std::shared_ptr<Direction> outgoing_;

@@ -12,6 +12,14 @@ DetailedViaSocket::Side::Side(sim::Simulation* sim, int index)
 
 DetailedViaSocket::~DetailedViaSocket() = default;
 
+DetailedViaSocket::DetailedViaSocket(std::shared_ptr<PairState> state,
+                                     int side)
+    : state_(std::move(state)), side_(side) {
+  const Side& me = mine();
+  const Side& peer = state_->sides[static_cast<std::size_t>(1 - side_)];
+  init_obs(state_->sim, me.nic->node().id(), peer.nic->node().id(), "svia");
+}
+
 SocketPair DetailedViaSocket::make_pair(via::Nic& a, via::Nic& b,
                                         ViaSocketOptions options) {
   if (options.credits == 0 || options.credit_batch == 0 ||
@@ -44,6 +52,11 @@ void DetailedViaSocket::PairState::setup_side(int i, via::Nic& nic,
   s.nic = &nic;
   s.vi = std::move(vi);
   s.credits = options.credits;
+  obs::Registry& reg = sim->obs().registry;
+  auto& serial = reg.counter("via_sock.sides");
+  serial.inc();
+  s.credit_updates = &reg.counter("via_sock.credit_updates{side=" +
+                                  std::to_string(serial.value()) + "}");
   // Control slack: credit updates and EOF do not spend data credits, so the
   // pool holds extra descriptors for them.
   const std::uint32_t control_slack =
@@ -124,7 +137,7 @@ void DetailedViaSocket::PairState::demux_loop(int i) {
         }
         if (me.consumed_since_credit >= options.credit_batch) {
           send_control(i, kCredit, me.consumed_since_credit);
-          ++me.credit_updates_sent;
+          me.credit_updates->inc();
           me.consumed_since_credit = 0;
         }
         break;
@@ -142,7 +155,8 @@ std::uint32_t DetailedViaSocket::available_credits() const {
 }
 
 std::uint64_t DetailedViaSocket::credit_updates_sent() const {
-  return mine().credit_updates_sent;
+  return mine().credit_updates == nullptr ? 0
+                                          : mine().credit_updates->value();
 }
 
 void DetailedViaSocket::send(net::Message m) {
@@ -165,8 +179,7 @@ Result<void> DetailedViaSocket::send_impl(net::Message m, bool timed,
   if (me.send_closed) {
     throw std::logic_error("DetailedViaSocket::send after close");
   }
-  stats_.messages_sent++;
-  stats_.bytes_sent += m.bytes;
+  const SimTime start = obs_now();
   m.sent_at = state_->sim->now();
 
   const std::uint64_t chunk = state_->options.chunk_bytes;
@@ -196,6 +209,7 @@ Result<void> DetailedViaSocket::send_impl(net::Message m, bool timed,
         continue;
       }
       if (me.credits == 0) {
+        note_timeout("timeout.credit_stall");
         return Error::timeout(
             "SocketVIA: credit stall — receiver returned no credits "
             "before the send deadline");
@@ -219,24 +233,30 @@ Result<void> DetailedViaSocket::send_impl(net::Message m, bool timed,
     while (me.vi->send_cq().poll()) {
     }
   }
+  note_sent(total);
+  obs_span(start, "send", total);
   return Result<void>::success();
 }
 
 std::optional<net::Message> DetailedViaSocket::recv() {
+  const SimTime start = obs_now();
   auto m = mine().delivered.recv();
   if (m) {
-    stats_.messages_received++;
-    stats_.bytes_received += m->bytes;
+    note_received(m->bytes);
+    obs_span(start, "recv", m->bytes);
   }
   return m;
 }
 
 Result<std::optional<net::Message>> DetailedViaSocket::recv_for(
     SimTime timeout) {
+  const SimTime start = obs_now();
   auto r = mine().delivered.recv_for(timeout);
   if (r.ok() && r.value()) {
-    stats_.messages_received++;
-    stats_.bytes_received += r.value()->bytes;
+    note_received(r.value()->bytes);
+    obs_span(start, "recv", r.value()->bytes);
+  } else if (!r.ok()) {
+    note_timeout("timeout.recv");
   }
   return r;
 }
@@ -244,8 +264,7 @@ Result<std::optional<net::Message>> DetailedViaSocket::recv_for(
 std::optional<net::Message> DetailedViaSocket::try_recv() {
   auto m = mine().delivered.try_recv();
   if (m) {
-    stats_.messages_received++;
-    stats_.bytes_received += m->bytes;
+    note_received(m->bytes);
   }
   return m;
 }

@@ -95,7 +95,9 @@ class DetailedViaSocket final : public SvSocket {
     sim::Channel<net::Message> delivered;
     std::uint64_t pending_chunks = 0;
     std::uint32_t consumed_since_credit = 0;
-    std::uint64_t credit_updates_sent = 0;
+    /// Registry counter `via_sock.credit_updates{side=<serial>}`, bound in
+    /// setup_side.
+    obs::Counter* credit_updates = nullptr;
   };
 
   struct PairState {
@@ -112,8 +114,7 @@ class DetailedViaSocket final : public SvSocket {
     void demux_loop(int i);
   };
 
-  DetailedViaSocket(std::shared_ptr<PairState> state, int side)
-      : state_(std::move(state)), side_(side) {}
+  DetailedViaSocket(std::shared_ptr<PairState> state, int side);
 
   /// Shared body of send()/send_for(); `deadline` is ignored when `timed`
   /// is false.

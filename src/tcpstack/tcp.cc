@@ -16,7 +16,42 @@ TcpConnection::TcpConnection(TcpStack* stack, std::string name,
       rto_current_(options.rto_initial),
       send_space_(&stack->sim(), name_ + ".sndbuf"),
       tx_wake_(&stack->sim(), name_ + ".txwake"),
-      recv_wait_(&stack->sim(), name_ + ".rcvwait") {}
+      recv_wait_(&stack->sim(), name_ + ".rcvwait") {
+  obs::Registry& reg = stack_->sim().obs().registry;
+  // Endpoint names can repeat across independent connect() calls; a
+  // creation serial keeps the metric family unique per endpoint (creation
+  // order is deterministic, so names are stable per seed).
+  auto& serial = reg.counter("tcpstack.connections");
+  serial.inc();
+  const std::string cl =
+      "{conn=" + name_ + "#" + std::to_string(serial.value()) + "}";
+  c_bytes_sent_ = &reg.counter("tcpstack.bytes_sent" + cl);
+  c_bytes_received_ = &reg.counter("tcpstack.bytes_received" + cl);
+  c_segments_sent_ = &reg.counter("tcpstack.segments_sent" + cl);
+  c_acks_sent_ = &reg.counter("tcpstack.acks_sent" + cl);
+  c_retx_ = &reg.counter("tcpstack.segments_retransmitted" + cl);
+  c_rto_expirations_ = &reg.counter("tcpstack.rto_expirations" + cl);
+  c_fast_retx_ = &reg.counter("tcpstack.fast_retransmits" + cl);
+  c_dup_acks_ = &reg.counter("tcpstack.dup_acks_received" + cl);
+  c_ooo_ = &reg.counter("tcpstack.ooo_segments_received" + cl);
+}
+
+void TcpConnection::bind_link_obs() {
+  const std::string ll = "{link=" + std::to_string(stack_->node().id()) +
+                         "->" + std::to_string(peer_->stack_->node().id()) +
+                         "}";
+  c_retx_link_ =
+      &stack_->sim().obs().registry.counter("tcpstack.segments_retransmitted" +
+                                            ll);
+}
+
+obs::Tracer& TcpConnection::tracer() const {
+  return stack_->sim().obs().tracer;
+}
+
+int TcpConnection::node_id() const { return stack_->node().id(); }
+
+net::Node& TcpConnection::peer_node() const { return peer_->stack_->node(); }
 
 std::uint64_t TcpConnection::peer_window_available() const {
   const std::uint64_t used = peer_->recv_buf_bytes_ + inflight_bytes_;
@@ -47,7 +82,7 @@ void TcpConnection::send(std::uint64_t bytes) {
     stack_->node().tx_host().use(
         stack_->profile().send_per_byte.for_bytes(take));
     unsent_bytes_ += take;
-    bytes_sent_ += take;
+    c_bytes_sent_->inc(take);
     remaining -= take;
     tx_wake_.notify_all();
     // Yield so the tx loop can interleave segment transmission with the
@@ -86,7 +121,7 @@ Result<void> TcpConnection::send_for(std::uint64_t bytes, SimTime timeout) {
     stack_->node().tx_host().use(
         stack_->profile().send_per_byte.for_bytes(take));
     unsent_bytes_ += take;
-    bytes_sent_ += take;
+    c_bytes_sent_->inc(take);
     remaining -= take;
     tx_wake_.notify_all();
     stack_->sim().delay(SimTime::zero());
@@ -211,15 +246,18 @@ void TcpConnection::send_segment(std::uint64_t bytes, bool fin) {
   snd_nxt_ += bytes + (fin ? 1 : 0);  // FIN occupies one sequence number
   inflight_bytes_ += bytes;
   unacked_.emplace(seq, SentSegment{bytes, fin});
-  ++segments_sent_;
-  if (fin) fin_sent_ = true;
+  c_segments_sent_->inc();
+  if (fin) {
+    fin_sent_ = true;
+    tracer().instant(stack_->sim().now(), node_id(), "tcp", "fin_sent", seq);
+  }
   // Piggyback any pending ACK for the reverse direction on this data
   // segment (standard TCP behaviour; prevents the Nagle/delayed-ACK
   // stall in request-response traffic).
   bool has_ack = false;
   if (unacked_segments_ > 0) {
     has_ack = true;
-    ++acks_sent_;
+    c_acks_sent_->inc();
     unacked_segments_ = 0;
   }
   stack_->transmit(
@@ -231,7 +269,10 @@ void TcpConnection::retransmit_front() {
   const auto it = unacked_.begin();
   SV_DCHECK(it->first == snd_una_,
             "earliest unacked segment must start at snd_una");
-  ++segments_retransmitted_;
+  c_retx_->inc();
+  if (c_retx_link_ != nullptr) c_retx_link_->inc();
+  tracer().instant(stack_->sim().now(), node_id(), "tcp", "retx",
+                   it->second.bytes);
   stack_->transmit(TcpStack::Segment{this, it->first, it->second.bytes,
                                      rcv_nxt_, false, it->second.fin});
   arm_rto();
@@ -253,7 +294,13 @@ void TcpConnection::cancel_rto() {
 void TcpConnection::on_rto_expiry() {
   rto_armed_ = false;
   if (unacked_.empty()) return;  // ACK landed at the same instant
-  ++rto_expirations_;
+  c_rto_expirations_->inc();
+  tracer().instant(stack_->sim().now(), node_id(), "tcp", "rto_expiry",
+                   static_cast<std::uint64_t>(rto_current_.ns()));
+  if (!in_recovery_episode_) {
+    in_recovery_episode_ = true;
+    recovery_started_ = stack_->sim().now();
+  }
   rto_current_ = std::min(rto_current_ * 2, options_.rto_max);
   retx_pending_ = true;
   tx_wake_.notify_all();
@@ -273,7 +320,7 @@ void TcpConnection::on_segment(std::uint64_t seq, std::uint64_t bytes,
     // signal fast retransmit counts). Fixed segment boundaries make the
     // map key collision-free; re-inserts of the same segment are no-ops.
     ooo_segments_.emplace(seq, OooSegment{bytes, fin});
-    ++ooo_received_;
+    c_ooo_->inc();
     send_ack_now();
     return;
   }
@@ -296,8 +343,12 @@ void TcpConnection::on_segment(std::uint64_t seq, std::uint64_t bytes,
 void TcpConnection::accept_segment(std::uint64_t bytes, bool fin) {
   rcv_nxt_ += bytes + (fin ? 1 : 0);
   recv_buf_bytes_ += bytes;
-  bytes_received_ += bytes;
-  if (fin) fin_received_ = true;
+  c_bytes_received_->inc(bytes);
+  if (fin) {
+    fin_received_ = true;
+    tracer().instant(stack_->sim().now(), node_id(), "tcp", "fin_received",
+                     rcv_nxt_);
+  }
   ++unacked_segments_;
 }
 
@@ -321,7 +372,7 @@ void TcpConnection::send_ack_now() {
   // this is safe from both process and event contexts.
   stack_->wire_out_.send(
       TcpStack::Segment{this, 0, 0, rcv_nxt_, true, false});
-  ++acks_sent_;
+  c_acks_sent_->inc();
   unacked_segments_ = 0;
 }
 
@@ -340,6 +391,13 @@ void TcpConnection::on_ack(std::uint64_t ackno, bool pure) {
     }
     dup_acks_ = 0;
     if (in_recovery_ && ackno >= recover_seq_) in_recovery_ = false;
+    if (in_recovery_episode_ && !in_recovery_) {
+      // Forward progress with fast recovery (if any) complete: the episode
+      // that began at the first loss signal is over.
+      in_recovery_episode_ = false;
+      tracer().span(recovery_started_, stack_->sim().now(), node_id(), "tcp",
+                    "recovery", ackno);
+    }
     cancel_rto();
     rto_current_ = options_.rto_initial;
     arm_rto();  // no-op when everything is acknowledged
@@ -348,7 +406,7 @@ void TcpConnection::on_ack(std::uint64_t ackno, bool pure) {
     return;
   }
   if (pure && ackno == snd_una_ && !unacked_.empty()) {
-    ++dup_acks_received_;
+    c_dup_acks_->inc();
     if (++dup_acks_ == 3) {
       // Fast retransmit: three duplicate ACKs imply the next segment was
       // lost while later ones arrived; re-send without waiting for the RTO.
@@ -358,7 +416,13 @@ void TcpConnection::on_ack(std::uint64_t ackno, bool pure) {
       if (!in_recovery_) {
         in_recovery_ = true;
         recover_seq_ = snd_nxt_;
-        ++fast_retransmits_;
+        c_fast_retx_->inc();
+        tracer().instant(stack_->sim().now(), node_id(), "tcp", "fast_retx",
+                         ackno);
+        if (!in_recovery_episode_) {
+          in_recovery_episode_ = true;
+          recovery_started_ = stack_->sim().now();
+        }
         retx_pending_ = true;
         tx_wake_.notify_all();
       }
@@ -438,6 +502,8 @@ TcpStack::connect(TcpStack& client, TcpStack& server, TcpOptions options) {
       &server, server.node_->name() + ".tcp" + std::to_string(id), options);
   c->peer_ = s.get();
   s->peer_ = c.get();
+  c->bind_link_obs();
+  s->bind_link_obs();
   client.connections_.push_back(c);
   server.connections_.push_back(s);
   client.sim_->spawn(c->name() + ".tx", [conn = c.get()] { conn->tx_loop(); });

@@ -33,6 +33,7 @@
 #include "net/calibration.h"
 #include "net/cluster.h"
 #include "net/cost_model.h"
+#include "obs/metrics.h"
 #include "sim/sync.h"
 
 namespace sv::tcpstack {
@@ -94,33 +95,42 @@ class TcpConnection {
   void close();
 
   [[nodiscard]] bool send_closed() const { return fin_queued_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
-  [[nodiscard]] std::uint64_t bytes_received() const {
-    return bytes_received_;
+  // Statistics live in the simulation's obs::Registry under
+  // `tcpstack.*{conn=<name>#<serial>}` (DESIGN.md §9); these accessors
+  // forward to the registry counters.
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return c_bytes_sent_->value();
   }
-  [[nodiscard]] std::uint64_t segments_sent() const { return segments_sent_; }
-  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return c_bytes_received_->value();
+  }
+  [[nodiscard]] std::uint64_t segments_sent() const {
+    return c_segments_sent_->value();
+  }
+  [[nodiscard]] std::uint64_t acks_sent() const { return c_acks_sent_->value(); }
   /// Loss-recovery counters (all zero on a loss-free fabric).
   [[nodiscard]] std::uint64_t segments_retransmitted() const {
-    return segments_retransmitted_;
+    return c_retx_->value();
   }
   [[nodiscard]] std::uint64_t rto_expirations() const {
-    return rto_expirations_;
+    return c_rto_expirations_->value();
   }
   [[nodiscard]] std::uint64_t fast_retransmits() const {
-    return fast_retransmits_;
+    return c_fast_retx_->value();
   }
   [[nodiscard]] std::uint64_t dup_acks_received() const {
-    return dup_acks_received_;
+    return c_dup_acks_->value();
   }
   [[nodiscard]] std::uint64_t ooo_segments_received() const {
-    return ooo_received_;
+    return c_ooo_->value();
   }
   /// Current RTO (exposed so tests can observe the exponential backoff).
   [[nodiscard]] SimTime current_rto() const { return rto_current_; }
   [[nodiscard]] const TcpOptions& options() const { return options_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] TcpStack& stack() const { return *stack_; }
+  /// The remote endpoint's node (valid once connected).
+  [[nodiscard]] net::Node& peer_node() const;
   /// Bytes currently buffered and readable without blocking.
   [[nodiscard]] std::uint64_t recv_buffered() const { return recv_buf_bytes_; }
   [[nodiscard]] bool eof_received() const { return fin_received_; }
@@ -155,6 +165,11 @@ class TcpConnection {
   void send_ack_now();
   void maybe_ack();
   [[nodiscard]] std::uint64_t peer_window_available() const;
+  /// Binds the per-link retransmit counter; requires peer_ (called from
+  /// TcpStack::connect once both endpoints exist).
+  void bind_link_obs();
+  [[nodiscard]] obs::Tracer& tracer() const;
+  [[nodiscard]] int node_id() const;
 
   TcpStack* stack_;
   std::string name_;
@@ -195,16 +210,23 @@ class TcpConnection {
   bool ack_timer_armed_ = false;
   sim::WaitQueue recv_wait_;
 
-  // --- stats ---
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t bytes_received_ = 0;
-  std::uint64_t segments_sent_ = 0;
-  std::uint64_t acks_sent_ = 0;
-  std::uint64_t segments_retransmitted_ = 0;
-  std::uint64_t rto_expirations_ = 0;
-  std::uint64_t fast_retransmits_ = 0;
-  std::uint64_t dup_acks_received_ = 0;
-  std::uint64_t ooo_received_ = 0;
+  // --- stats (obs::Registry counters, bound in the constructor) ---
+  obs::Counter* c_bytes_sent_;
+  obs::Counter* c_bytes_received_;
+  obs::Counter* c_segments_sent_;
+  obs::Counter* c_acks_sent_;
+  obs::Counter* c_retx_;
+  obs::Counter* c_rto_expirations_;
+  obs::Counter* c_fast_retx_;
+  obs::Counter* c_dup_acks_;
+  obs::Counter* c_ooo_;
+  /// Per-link `tcpstack.segments_retransmitted{link=s->d}` (the number the
+  /// fault-invariant tests compare against injector drops); bound once the
+  /// peer is known.
+  obs::Counter* c_retx_link_ = nullptr;
+  // Recovery-episode span tracking (tracer only; no timing effect).
+  bool in_recovery_episode_ = false;
+  SimTime recovery_started_{};
 };
 
 /// The per-node kernel TCP instance.

@@ -54,6 +54,7 @@ class BlockedImage {
  private:
   std::uint64_t total_bytes_;
   std::uint64_t block_bytes_;
+  // svlint:allow(SV007): immutable image geometry, not a statistic
   std::uint64_t block_count_;
 };
 

@@ -79,6 +79,7 @@ LoadBalanceResult run_load_balance(const LoadBalanceConfig& cfg) {
 
   sim::Simulation s;
   net::Cluster cluster(&s, cfg.workers + 1);
+  obs::begin_artifacts(s.obs(), cfg.obs);
   sockets::SocketFactory factory(&s, &cluster);
 
   dc::FilterGroup group;
@@ -109,6 +110,7 @@ LoadBalanceResult run_load_balance(const LoadBalanceConfig& cfg) {
   rt.submit(dc::Uow{1, {}});
   rt.close_input();
   s.run();
+  obs::export_artifacts(s.obs(), cfg.obs);
   result.exec_time = s.now();
   return result;
 }

@@ -12,6 +12,7 @@
 #include "common/units.h"
 #include "datacutter/group.h"
 #include "net/calibration.h"
+#include "obs/artifacts.h"
 
 namespace sv::viz {
 
@@ -32,6 +33,9 @@ struct LoadBalanceConfig {
   /// speed on worker `slow_worker` (dynamic slowdown).
   double slow_probability = 0.0;
   std::uint64_t seed = 1;
+  /// Trace / metrics destinations for this run (passive; cannot change the
+  /// measured results).
+  obs::Artifacts obs;
 };
 
 struct LoadBalanceResult {

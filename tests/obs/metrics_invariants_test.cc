@@ -1,0 +1,216 @@
+// Conservation / consistency properties of the metrics registry
+// (DESIGN.md §9): the counters different layers keep about the same traffic
+// must agree with each other at quiescence, and the legacy accessors
+// (SvSocket::stats(), FaultInjector::frames_*, TcpConnection counters) must
+// report exactly the registry's numbers, since they are now views onto it.
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "net/cluster.h"
+#include "net/fault.h"
+#include "obs/metrics.h"
+#include "sockets/factory.h"
+#include "tcpstack/tcp.h"
+
+namespace sv::obs {
+namespace {
+
+using namespace sv::literals;
+
+/// Streams `iters` messages of `bytes` over a fast-fidelity transport and
+/// returns with the simulation quiesced; sockets stay alive in `out`.
+void run_fast_stream(sim::Simulation& s, net::Cluster& cluster,
+                     net::Transport tr, int iters, std::uint64_t bytes,
+                     sockets::SocketPair* out) {
+  sockets::SocketFactory factory(&s, &cluster, sockets::Fidelity::kFast);
+  s.spawn("app", [&, iters, bytes] {
+    *out = factory.connect(0, 1, tr);
+    auto& [a, b] = *out;
+    s.spawn("rx", [&b] {
+      while (b->recv()) {
+      }
+    });
+    for (int i = 0; i < iters; ++i) a->send(net::Message{.bytes = bytes});
+    a->close_send();
+  });
+  s.run();
+}
+
+TEST(MetricsInvariants, BytesConserveAtQuiesce) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  sockets::SocketPair pair;
+  run_fast_stream(s, cluster, net::Transport::kKernelTcp, 16, 8192, &pair);
+  const Registry& reg = s.obs().registry;
+
+  // Everything sent was received: no bytes vanish between the endpoints.
+  const std::uint64_t sock_sent = reg.sum_counters("socket.bytes_sent{");
+  const std::uint64_t sock_recv = reg.sum_counters("socket.bytes_received{");
+  EXPECT_EQ(sock_sent, 16u * 8192u);
+  EXPECT_EQ(sock_sent, sock_recv);
+
+  // The fabric's frame accounting balances too (sent == received per run,
+  // loss-free), and nothing is left on the wire at quiescence.
+  EXPECT_EQ(reg.sum_counters("fabric.frame_bytes_sent{"),
+            reg.sum_counters("fabric.frame_bytes_received{"));
+  const Gauge* in_flight = reg.find_gauge("fabric.in_flight_bytes{link=0->1}");
+  ASSERT_NE(in_flight, nullptr);
+  EXPECT_EQ(in_flight->value(), 0);       // drained
+  EXPECT_GT(in_flight->max_value(), 0);   // but the wire was actually used
+}
+
+TEST(MetricsInvariants, HistogramCountsMatchCounters) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  sockets::SocketPair pair;
+  run_fast_stream(s, cluster, net::Transport::kSocketVia, 24, 4096, &pair);
+  const Registry& reg = s.obs().registry;
+
+  // Every note_sent() observes the message-size histogram exactly once.
+  const Histogram* sizes = reg.find_histogram("socket.msg_bytes");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->count(), reg.counter_value("socket.messages_sent"));
+  EXPECT_EQ(sizes->sum(),
+            static_cast<std::int64_t>(reg.sum_counters("socket.bytes_sent{")));
+
+  // One latency observation per message the fabric delivered.
+  const Histogram* lat = reg.find_histogram("fabric.msg_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), reg.counter_value("fabric.messages_received"));
+  EXPECT_GT(lat->count(), 0u);
+}
+
+TEST(MetricsInvariants, RetransmissionsCoverInjectedDrops) {
+  // Detailed tcpstack on a lossy link: every dropped data frame must be
+  // made up by at least one retransmission on the same link, or the
+  // receiver could never have completed the transfer.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  cluster.install_faults(net::FaultPlan::uniform_loss(0.02), /*seed=*/1);
+  tcpstack::TcpStack stack0(&s, &cluster.node(0));
+  tcpstack::TcpStack stack1(&s, &cluster.node(1));
+  const std::uint64_t msg = 64 * 1024;
+  const int iters = 32;
+  s.spawn("app", [&] {
+    auto [a, b] = tcpstack::TcpStack::connect(stack0, stack1);
+    s.spawn("rx", [&s, msg, iters, b] {
+      b->recv_exact(msg * static_cast<std::uint64_t>(iters));
+    });
+    for (int i = 0; i < iters; ++i) a->send(msg);
+    a->close();
+  });
+  s.run();
+  const Registry& reg = s.obs().registry;
+
+  const std::uint64_t dropped_data =
+      reg.counter_value("fault.frames_dropped{link=0->1}");
+  const std::uint64_t retx_data =
+      reg.counter_value("tcpstack.segments_retransmitted{link=0->1}");
+  EXPECT_GT(dropped_data, 0u) << "scenario must actually lose frames";
+  EXPECT_GE(retx_data, dropped_data);
+
+  // The injector's per-link breakdown sums to its aggregates.
+  EXPECT_EQ(reg.sum_counters("fault.frames_seen{"),
+            reg.counter_value("fault.frames_seen"));
+  EXPECT_EQ(reg.sum_counters("fault.frames_dropped{"),
+            reg.counter_value("fault.frames_dropped"));
+}
+
+// --- Old-accessor vs registry agreement (the PR2 unification) ------------
+// Socket timeout counters used to be per-socket members while fault
+// counters were per-link; both now live in the registry, and the legacy
+// accessors forward. These tests pin the agreement on ablation_faults'
+// default configuration (iters=64, 64 KiB messages, seed=1, loss=1%).
+
+TEST(MetricsUnification, FaultAccessorsMatchRegistryOnAblationDefaults) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  cluster.install_faults(net::FaultPlan::uniform_loss(0.01), /*seed=*/1);
+  sockets::SocketPair pair;
+  run_fast_stream(s, cluster, net::Transport::kKernelTcp, 64, 64 * 1024,
+                  &pair);
+  const Registry& reg = s.obs().registry;
+
+  const net::FaultInjector* inj = cluster.fault_injector();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_GT(inj->frames_dropped(), 0u);
+  EXPECT_EQ(inj->frames_seen(), reg.counter_value("fault.frames_seen"));
+  EXPECT_EQ(inj->frames_dropped(), reg.counter_value("fault.frames_dropped"));
+  EXPECT_EQ(inj->frames_delayed(), reg.counter_value("fault.frames_delayed"));
+
+  // Socket-side accessors are registry views: summing stats() over both
+  // endpoints reproduces the labelled counter families exactly.
+  const sockets::SocketStats sa = pair.first->stats();
+  const sockets::SocketStats sb = pair.second->stats();
+  EXPECT_EQ(sa.bytes_sent + sb.bytes_sent,
+            reg.sum_counters("socket.bytes_sent{"));
+  EXPECT_EQ(sa.messages_sent + sb.messages_sent,
+            reg.counter_value("socket.messages_sent"));
+  EXPECT_EQ(sa.timeouts + sb.timeouts,
+            reg.counter_value("socket.timeouts"));
+}
+
+TEST(MetricsUnification, TcpAccessorsMatchRegistryOnAblationDefaults) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  cluster.install_faults(net::FaultPlan::uniform_loss(0.01), /*seed=*/1);
+  tcpstack::TcpStack stack0(&s, &cluster.node(0));
+  tcpstack::TcpStack stack1(&s, &cluster.node(1));
+  const std::uint64_t msg = 64 * 1024;
+  const int iters = 64;
+  std::shared_ptr<tcpstack::TcpConnection> sender;
+  std::shared_ptr<tcpstack::TcpConnection> receiver;
+  s.spawn("app", [&] {
+    auto [a, b] = tcpstack::TcpStack::connect(stack0, stack1);
+    sender = a;
+    receiver = b;
+    s.spawn("rx", [&s, msg, iters, b] {
+      b->recv_exact(msg * static_cast<std::uint64_t>(iters));
+    });
+    for (int i = 0; i < iters; ++i) a->send(msg);
+    a->close();
+  });
+  s.run();
+  const Registry& reg = s.obs().registry;
+
+  // Exactly the numbers ablation_faults prints from the accessors.
+  EXPECT_GT(sender->segments_retransmitted(), 0u);
+  EXPECT_EQ(sender->segments_retransmitted() +
+                receiver->segments_retransmitted(),
+            reg.sum_counters("tcpstack.segments_retransmitted{conn="));
+  EXPECT_EQ(sender->rto_expirations() + receiver->rto_expirations(),
+            reg.sum_counters("tcpstack.rto_expirations{"));
+  EXPECT_EQ(sender->fast_retransmits() + receiver->fast_retransmits(),
+            reg.sum_counters("tcpstack.fast_retransmits{"));
+}
+
+TEST(MetricsUnification, SocketTimeoutsAgreePerSocketAndPerLink) {
+  // Force a real timeout so the agreement is non-vacuous: recv_for() on a
+  // socket nobody writes to.
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  sockets::SocketFactory factory(&s, &cluster, sockets::Fidelity::kFast);
+  sockets::SocketPair pair;
+  s.spawn("app", [&] {
+    pair = factory.connect(0, 1, net::Transport::kKernelTcp);
+    EXPECT_TRUE(pair.second->recv_for(50_us).timed_out());
+  });
+  s.run();
+  const Registry& reg = s.obs().registry;
+
+  const sockets::SocketStats sa = pair.first->stats();
+  const sockets::SocketStats sb = pair.second->stats();
+  EXPECT_EQ(sb.timeouts, 1u);
+  // Per-socket view == per-link view == aggregate: one source of truth.
+  EXPECT_EQ(sa.timeouts + sb.timeouts,
+            reg.sum_counters("socket.timeouts{socket="));
+  EXPECT_EQ(sa.timeouts + sb.timeouts,
+            reg.sum_counters("socket.timeouts{link="));
+  EXPECT_EQ(sa.timeouts + sb.timeouts,
+            reg.counter_value("socket.timeouts"));
+}
+
+}  // namespace
+}  // namespace sv::obs

@@ -1,0 +1,23 @@
+// SV007 fixture: console output and raw counter members in simulation code.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+
+struct Pipe {
+  void deliver() {
+    std::cout << "delivered";
+    std::fprintf(stderr, "drop");
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "x");
+    ++frames_seen_;
+  }
+  std::uint64_t frames_seen_ = 0;
+  std::uint64_t frames_dropped_;
+  std::uint64_t window_bytes_ = 0;
+};
+
+inline std::uint64_t tally(std::uint64_t bytes_sent) {
+  // svlint:allow(SV007): snapshot mirrored out of the registry
+  std::uint64_t messages_sent = 0;
+  return bytes_sent + messages_sent;
+}

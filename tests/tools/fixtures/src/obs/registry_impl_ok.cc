@@ -1,0 +1,10 @@
+// SV007 scope fixture: the obs layer itself implements the counters and
+// the exporters, so raw integers and stream writes are its business.
+#include <cstdint>
+#include <iostream>
+
+struct Counter {
+  std::uint64_t count_ = 0;
+};
+
+inline void dump(const Counter& c) { std::cout << c.count_; }

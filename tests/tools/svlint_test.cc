@@ -29,10 +29,10 @@ bool has(const std::vector<Finding>& fs, const std::string& rule, int line) {
   });
 }
 
-TEST(SvlintRules, RuleTableListsSixRules) {
-  ASSERT_EQ(rules().size(), 6u);
+TEST(SvlintRules, RuleTableListsSevenRules) {
+  ASSERT_EQ(rules().size(), 7u);
   EXPECT_STREQ(rules().front().id, "SV001");
-  EXPECT_STREQ(rules().back().id, "SV006");
+  EXPECT_STREQ(rules().back().id, "SV007");
 }
 
 TEST(SvlintRules, Sv001CatchesUnorderedIteration) {
@@ -109,6 +109,34 @@ TEST(SvlintRules, SeededFaultIdiomIsClean) {
   // The blessed shape of src/net/fault.cc: seed-derived per-link streams
   // in a value-keyed ordered map must produce zero findings.
   EXPECT_TRUE(scan_fixture("src/net/fault_seeded_ok.cc").empty());
+}
+
+TEST(SvlintRules, Sv007CatchesConsoleOutputAndRawCounters) {
+  const auto fs = scan_fixture("src/net/console_counter.cc");
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV007", 8)) << "std::cout";
+  EXPECT_TRUE(has(live, "SV007", 9)) << "std::fprintf";
+  EXPECT_TRUE(has(live, "SV007", 14)) << "frames_seen_ member";
+  EXPECT_TRUE(has(live, "SV007", 15)) << "uninitialised frames_dropped_";
+  EXPECT_EQ(live.size(), 4u)
+      << "snprintf, non-counter members and function parameters must not "
+         "trip";
+  // The allowed snapshot local is reported but suppressed.
+  ASSERT_EQ(fs.size(), 5u);
+  EXPECT_TRUE(fs.back().suppressed);
+  EXPECT_EQ(fs.back().line, 21);
+}
+
+TEST(SvlintRules, Sv007ExemptsObsAndCommonLayers) {
+  EXPECT_TRUE(scan_fixture("src/obs/registry_impl_ok.cc").empty())
+      << "src/obs implements the counters; the rule must not fire there";
+  // Same content relocated into scope does fire.
+  EXPECT_FALSE(unsuppressed(scan_source("src/sim/x.cc",
+                                        "std::uint64_t drops_count_ = 0;\n"))
+                   .empty());
+  EXPECT_TRUE(scan_source("src/common/log2.cc",
+                          "std::uint64_t drops_count_ = 0;\n")
+                  .empty());
 }
 
 TEST(SvlintRules, CleanFileHasNoFindings) {

@@ -36,6 +36,11 @@ const std::vector<RuleInfo> kRules = {
      "float/double accumulation of simulated time (+= over .us()/.ms()/"
      ".sec(), or SimTime built back from a floating expression): rounding "
      "is order-dependent; accumulate integer .ns() instead"},
+    {"SV007",
+     "direct console output (std::cout/std::cerr/printf/puts) or raw "
+     "uint64_t counter member in simulation code (src/ outside src/obs and "
+     "src/common): print from bench mains or the harness, and register "
+     "statistics as obs::Registry counters so snapshots see them"},
 };
 
 // Directories whose output feeds deterministic event ordering: iterating an
@@ -46,6 +51,11 @@ constexpr const char* kOrderedContexts[] = {"src/sim/", "src/net/",
 // Files allowed to read wall clocks (measurement harness; RNG seeding).
 constexpr const char* kWallClockAllowPrefixes[] = {"src/harness/"};
 constexpr const char* kWallClockAllowFiles[] = {"src/common/rng.cc"};
+
+// SV007 exemptions: the observability layer *implements* the counters, and
+// src/common is infrastructure below it (CLI/log/table formatting must
+// write somewhere).
+constexpr const char* kObsAllowPrefixes[] = {"src/obs/", "src/common/"};
 
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() &&
@@ -439,6 +449,78 @@ void check_sv005(const std::string& rel_path,
   }
 }
 
+// ---------------------------------------------------------------------------
+// SV007: bypassing the observability layer
+// ---------------------------------------------------------------------------
+
+bool obs_rule_applies(const std::string& rel_path) {
+  if (!starts_with(rel_path, "src/")) return false;
+  for (const char* dir : kObsAllowPrefixes) {
+    if (starts_with(rel_path, dir)) return false;
+  }
+  return true;
+}
+
+// Counter-ish identifier suffixes: a uint64_t member named like one of
+// these is a statistic someone will want in a snapshot.
+constexpr const char* kCounterSuffixes[] = {
+    "sent",    "received",      "count",       "seen",
+    "dropped", "delayed",       "retransmitted", "retransmits",
+    "expirations", "timeouts"};
+
+// True when `ident` (with any trailing '_' stripped) is, or ends in
+// '_' + one of, the counter suffixes: "timeouts", "bytes_sent_", ...
+bool counter_like(const std::string& ident) {
+  std::string name = ident;
+  while (!name.empty() && name.back() == '_') name.pop_back();
+  for (const char* suffix : kCounterSuffixes) {
+    const std::string suf(suffix);
+    if (name == suf) return true;
+    if (name.size() > suf.size() + 1 &&
+        name.compare(name.size() - suf.size(), suf.size(), suf) == 0 &&
+        name[name.size() - suf.size() - 1] == '_') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_sv007(const std::string& rel_path,
+                 const std::vector<std::string>& code,
+                 std::vector<Finding>* out) {
+  if (!obs_rule_applies(rel_path)) return;
+  // (a) Direct console output. `[^\w.]` before printf/puts keeps
+  // snprintf/strcat-style names and member calls out; std::fprintf still
+  // matches via the ':' before the name.
+  static const std::regex kStream(R"(std\s*::\s*(cout|cerr)\b)");
+  static const std::regex kStdio(R"((^|[^\w.])(f?printf|f?puts)\s*\()");
+  // (b) A uint64_t member/variable with a counter-ish name: statistics
+  // belong in the registry, where snapshot() and the accessors can see
+  // one authoritative value.
+  static const std::regex kDecl(
+      R"((?:std\s*::\s*)?uint64_t\s+([A-Za-z_]\w*)\s*(?:=\s*0(?:u|U|ull|ULL)?\s*)?;)");
+  for (std::size_t ln = 0; ln < code.size(); ++ln) {
+    const std::string& line = code[ln];
+    if (std::regex_search(line, kStream) || std::regex_search(line, kStdio)) {
+      out->push_back({rel_path, static_cast<int>(ln + 1), "SV007",
+                      "direct console output in simulation code; print from "
+                      "bench mains/harness or export via obs",
+                      false});
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kDecl);
+         it != std::sregex_iterator(); ++it) {
+      const std::string ident = (*it)[1].str();
+      if (counter_like(ident)) {
+        out->push_back({rel_path, static_cast<int>(ln + 1), "SV007",
+                        "raw counter member '" + ident +
+                            "'; register an obs::Counter in the simulation "
+                            "registry so snapshots include it",
+                        false});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() { return kRules; }
@@ -450,6 +532,7 @@ std::vector<Finding> scan_source(const std::string& rel_path,
   check_sv001(rel_path, src.code, &findings);
   check_regex_rules(rel_path, src.code, &findings);
   check_sv005(rel_path, src.code, &findings);
+  check_sv007(rel_path, src.code, &findings);
 
   // Apply suppressions: an allow on the finding's line or the line above.
   for (Finding& f : findings) {
