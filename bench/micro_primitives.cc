@@ -3,6 +3,10 @@
 // numbers bound how large an experiment the repository can run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "mem/buffer_pool.h"
+#include "mem/payload.h"
 #include "net/fabric.h"
 #include "sim/resource.h"
 #include "sim/sync.h"
@@ -121,6 +125,93 @@ void BM_DetailedTcpMessage(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_DetailedTcpMessage);
+
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  // Steady-state pool churn: after the first lap every acquire is a reuse
+  // (LIFO free-list hit), which is the hot path of every filter cycle.
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  mem::BufferPool pool(nullptr, {.label = "bench"});
+  for (auto _ : state) {
+    mem::PooledBuffer buf = pool.acquire(bytes);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAcquireRelease)->Arg(4096)->Arg(65536);
+
+void BM_PayloadSealSlice(benchmark::State& state) {
+  // seal + MSS-sized slicing: what the TCP stack does to every message.
+  constexpr std::uint64_t kBytes = 65536;
+  constexpr std::uint64_t kMss = 1460;
+  mem::BufferPool pool(nullptr, {.label = "bench"});
+  for (auto _ : state) {
+    mem::Payload p = pool.acquire(kBytes).seal();
+    std::uint64_t off = 0;
+    while (off < kBytes) {
+      const std::uint64_t take = std::min(kMss, kBytes - off);
+      benchmark::DoNotOptimize(p.slice(off, take));
+      off += take;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (kBytes / kMss + 1));
+}
+BENCHMARK(BM_PayloadSealSlice);
+
+void BM_PayloadMaterialize(benchmark::State& state) {
+  // copy_to of a sliced-and-reassembled payload: the one sanctioned way to
+  // flatten a chunk chain back into contiguous memory.
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  mem::BufferPool pool(nullptr, {.label = "bench"});
+  mem::Payload chain;
+  for (std::uint64_t off = 0; off < bytes; off += 1460) {
+    chain = chain.concat(
+        pool.acquire(std::min<std::uint64_t>(1460, bytes - off)).seal());
+  }
+  std::vector<std::byte> dst(bytes);
+  for (auto _ : state) {
+    chain.copy_to(0, dst.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PayloadMaterialize)->Arg(65536);
+
+void BM_MaterializedSend(benchmark::State& state) {
+  // Full detailed-TCP message cycle with real payload bytes attached:
+  // pool acquire -> seal -> segment slicing -> reassembly -> header strip.
+  // range(0) selects a registered (1) or unregistered (0) pool; both take
+  // the same code path — the flag only changes what the ledger records.
+  const bool registered = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation s;
+    net::Cluster cluster(&s, 2);
+    sockets::SocketFactory factory(&s, &cluster,
+                                   sockets::Fidelity::kDetailed);
+    mem::BufferPool pool(&s.obs(),
+                         {.label = "bench", .registered = registered});
+    state.ResumeTiming();
+    s.spawn("app", [&] {
+      auto [a, b] = factory.connect(0, 1, net::Transport::kKernelTcp);
+      s.spawn("rx", [&s, b = std::move(b)]() mutable {
+        while (b->recv()) {
+        }
+      });
+      for (int i = 0; i < 100; ++i) {
+        mem::PooledBuffer buf = pool.acquire(16384);
+        net::Message m;
+        m.bytes = buf.size();
+        m.payload = std::move(buf).seal();
+        a->send(std::move(m));
+      }
+      a->close_send();
+    });
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MaterializedSend)->Arg(0)->Arg(1);
 
 }  // namespace
 

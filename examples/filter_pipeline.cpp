@@ -13,8 +13,10 @@
 //   $ ./filter_pipeline
 #include <cstdio>
 #include <numeric>
+#include <optional>
 
 #include "datacutter/runtime.h"
+#include "mem/buffer_pool.h"
 
 using namespace sv;
 using namespace sv::literals;
@@ -24,9 +26,9 @@ namespace {
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 
-std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::byte>& data) {
-  for (std::byte b : data) {
-    h ^= static_cast<std::uint64_t>(b);
+std::uint64_t fnv1a(std::uint64_t h, const sv::mem::Payload& data) {
+  for (std::uint64_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<std::uint64_t>(data.read_byte(i));
     h *= kFnvPrime;
   }
   return h;
@@ -37,20 +39,29 @@ class Reader : public dc::Filter {
  public:
   Reader(int buffers, std::size_t bytes) : buffers_(buffers), bytes_(bytes) {}
 
+  void init(dc::FilterContext& ctx) override {
+    // Pooled payload storage: buffers are re-leased as downstream copies
+    // release them, so steady state allocates nothing (mem/buffer_pool.h).
+    mem::BufferPool::Options opts;
+    opts.label = "example.reader" + std::to_string(ctx.copy_index());
+    pool_.emplace(&ctx.sim().obs(), opts);
+  }
+
   void process(dc::FilterContext& ctx) override {
     for (int i = 0; i < buffers_; ++i) {
       // Each copy reads its own shard (interleaved).
       if (static_cast<std::size_t>(i) % 2 != ctx.copy_index()) continue;
-      auto payload = std::make_shared<std::vector<std::byte>>(bytes_);
+      mem::PooledBuffer lease = pool_->acquire(bytes_);
+      std::byte* dst = lease.data();
       for (std::size_t j = 0; j < bytes_; ++j) {
-        (*payload)[j] =
+        dst[j] =
             static_cast<std::byte>((static_cast<std::size_t>(i) * 131 + j) &
                                    0xff);
       }
       dc::DataBuffer b;
       b.bytes = bytes_;
       b.tag = static_cast<std::uint64_t>(i);
-      b.payload = payload;
+      b.payload = std::move(lease).seal();
       ctx.compute(PerByteCost::nanos_per_byte(2).for_bytes(bytes_));  // I/O
       ctx.write(std::move(b));
     }
@@ -59,6 +70,7 @@ class Reader : public dc::Filter {
  private:
   int buffers_;
   std::size_t bytes_;
+  std::optional<mem::BufferPool> pool_;
 };
 
 /// Middle stage: digests each payload and forwards a small record.
@@ -68,7 +80,7 @@ class Reducer : public dc::Filter {
     while (auto b = ctx.read()) {
       ctx.compute(PerByteCost::nanos_per_byte(10).for_bytes(b->bytes));
       const std::uint64_t digest =
-          b->payload ? fnv1a(kFnvOffset, *b->payload) : 0;
+          b->materialized() ? fnv1a(kFnvOffset, b->payload) : 0;
       dc::DataBuffer out;
       out.bytes = 16;  // digest record
       out.tag = b->tag;
@@ -139,12 +151,12 @@ int main() {
   std::uint64_t expected = 0;
   for (int q = 0; q < 3; ++q) {
     for (int i = 0; i < kBuffers; ++i) {
-      std::vector<std::byte> payload(kBytes);
+      auto payload = std::make_shared<std::vector<std::byte>>(kBytes);
       for (std::size_t j = 0; j < kBytes; ++j) {
-        payload[j] = static_cast<std::byte>(
+        (*payload)[j] = static_cast<std::byte>(
             (static_cast<std::size_t>(i) * 131 + j) & 0xff);
       }
-      expected ^= fnv1a(kFnvOffset, payload);
+      expected ^= fnv1a(kFnvOffset, mem::Payload::wrap(std::move(payload)));
     }
   }
   std::printf("\nfolded digest: %016llx (%s)\n",

@@ -4,10 +4,10 @@
 #include <any>
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 #include "common/check.h"
 #include "common/units.h"
+#include "mem/payload.h"
 
 namespace sv::dc {
 
@@ -20,27 +20,31 @@ struct DataBuffer {
   std::uint64_t tag = 0;
   /// Optional application metadata.
   std::any meta{};
-  /// Optional real payload (shared; the runtime never copies it).
-  std::shared_ptr<const std::vector<std::byte>> payload{};
+  /// Payload view (mem/payload.h): empty for timing-only buffers, shared
+  /// by reference otherwise — the runtime and transports never copy it;
+  /// sub-chunks are zero-copy slices of the parent's payload.
+  mem::Payload payload{};
   /// Stamped by the runtime when the buffer is first written to a stream.
   SimTime created_at{};
 
-  /// True when a real payload is attached (timing-only buffers carry none).
-  [[nodiscard]] bool materialized() const { return payload != nullptr; }
+  /// True when real payload bytes are attached (timing-only buffers carry
+  /// none; virtual payloads flow through transports but hold no bytes).
+  [[nodiscard]] bool materialized() const { return payload.materialized(); }
 
-  /// Bounds-guarded payload access: returns a pointer to `len` bytes at
-  /// `offset`. Reading past the written extent — beyond the materialized
-  /// payload or beyond the buffer's logical size — is a contract violation
-  /// (SV_ASSERT), not UB.
+  /// Bounds-guarded payload access: returns a pointer to `len` contiguous
+  /// bytes at `offset`. Reading past the written extent — beyond the
+  /// materialized payload or beyond the buffer's logical size — is a
+  /// contract violation (SV_ASSERT), not UB. Overflow-safe: `offset + len`
+  /// is never formed, so adversarial offsets cannot wrap the check.
   [[nodiscard]] const std::byte* read_at(std::uint64_t offset,
                                          std::uint64_t len) const {
-    SV_ASSERT(payload != nullptr,
+    SV_ASSERT(materialized(),
               "DataBuffer: payload read on a non-materialized buffer");
-    SV_ASSERT(offset + len <= bytes,
+    SV_ASSERT(len <= bytes && offset <= bytes - len,
               "DataBuffer: read past logical extent");
-    SV_ASSERT(offset + len <= payload->size(),
-              "DataBuffer: read past written payload");
-    return payload->data() + offset;
+    // Payload accessors re-check against the materialized extent with the
+    // same overflow-safe form.
+    return payload.contiguous_at(offset, len);
   }
 
   /// Single-byte guarded read.

@@ -1,0 +1,116 @@
+#include "mem/buffer_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "obs/hub.h"
+
+namespace sv::mem {
+
+struct PooledBuffer::State {
+  BufferPool::Options opts;
+  // Counters are null when the pool runs without a hub.
+  obs::Counter* c_alloc = nullptr;
+  obs::Counter* c_alloc_total = nullptr;
+  obs::Counter* c_reuse = nullptr;
+  obs::Counter* c_reuse_total = nullptr;
+  obs::Counter* c_registered_bytes = nullptr;
+  obs::Gauge* g_free = nullptr;
+  obs::Histogram* h_chunk = nullptr;
+  /// Idle chunks, most recently released last (LIFO reuse).
+  std::vector<std::unique_ptr<std::vector<std::byte>>> free_list;
+
+  void release(std::unique_ptr<std::vector<std::byte>> buf) {
+    free_list.push_back(std::move(buf));
+    if (g_free != nullptr) g_free->add(1);
+  }
+};
+
+PooledBuffer::PooledBuffer(std::shared_ptr<State> state,
+                           std::unique_ptr<std::vector<std::byte>> buf)
+    : state_(std::move(state)), buf_(std::move(buf)) {}
+
+PooledBuffer::~PooledBuffer() {
+  if (buf_ != nullptr && state_ != nullptr) {
+    state_->release(std::move(buf_));
+  }
+}
+
+Payload PooledBuffer::seal() && {
+  SV_ASSERT(buf_ != nullptr, "PooledBuffer::seal on an empty lease");
+  auto state = state_;
+  state_.reset();
+  std::vector<std::byte>* raw = buf_.release();
+  // The Payload's storage deleter routes the chunk back to the pool when
+  // the last view dies — refcounting is the return path, not destruction.
+  Payload::Storage storage(
+      static_cast<const std::vector<std::byte>*>(raw),
+      [state](const std::vector<std::byte>* p) {
+        state->release(std::unique_ptr<std::vector<std::byte>>(
+            const_cast<std::vector<std::byte>*>(p)));
+      });
+  return Payload::wrap(std::move(storage), state->opts.registered);
+}
+
+BufferPool::BufferPool(obs::Hub* hub, Options options)
+    : state_(std::make_shared<PooledBuffer::State>()) {
+  state_->opts = std::move(options);
+  if (hub != nullptr) {
+    obs::Registry& reg = hub->registry;
+    const std::string pl = "{pool=" + state_->opts.label + "}";
+    state_->c_alloc = &reg.counter("mem.pool_alloc" + pl);
+    state_->c_alloc_total = &reg.counter("mem.pool_alloc");
+    state_->c_reuse = &reg.counter("mem.pool_reuse" + pl);
+    state_->c_reuse_total = &reg.counter("mem.pool_reuse");
+    state_->g_free = &reg.gauge("mem.pool_free" + pl);
+    state_->h_chunk = &reg.histogram("mem.chunk_bytes",
+                                     obs::Registry::size_bounds_bytes());
+    if (state_->opts.registered) {
+      // One registration event per pool; per-chunk pinned bytes are counted
+      // as chunks are first allocated (grow-on-demand pinning).
+      reg.counter("mem.registrations").inc();
+      state_->c_registered_bytes = &reg.counter("mem.registered_bytes");
+    }
+  }
+}
+
+PooledBuffer BufferPool::acquire(std::size_t bytes) {
+  SV_ASSERT(bytes > 0, "BufferPool::acquire of zero bytes");
+  auto& fl = state_->free_list;
+  // LIFO first-fit: newest released chunk whose capacity covers the
+  // request. Deterministic (single-threaded, strictly ordered releases).
+  for (std::size_t i = fl.size(); i > 0; --i) {
+    if (fl[i - 1]->capacity() >= bytes) {
+      std::unique_ptr<std::vector<std::byte>> buf = std::move(fl[i - 1]);
+      fl.erase(fl.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      buf->resize(bytes);
+      if (state_->c_reuse != nullptr) {
+        state_->c_reuse->inc();
+        state_->c_reuse_total->inc();
+        state_->g_free->add(-1);
+        state_->h_chunk->observe(static_cast<std::int64_t>(bytes));
+      }
+      return PooledBuffer(state_, std::move(buf));
+    }
+  }
+  auto buf = std::make_unique<std::vector<std::byte>>(bytes);
+  if (state_->c_alloc != nullptr) {
+    state_->c_alloc->inc();
+    state_->c_alloc_total->inc();
+    state_->h_chunk->observe(static_cast<std::int64_t>(bytes));
+  }
+  if (state_->c_registered_bytes != nullptr) {
+    state_->c_registered_bytes->inc(bytes);
+  }
+  return PooledBuffer(state_, std::move(buf));
+}
+
+std::size_t BufferPool::free_chunks() const {
+  return state_->free_list.size();
+}
+
+const BufferPool::Options& BufferPool::options() const {
+  return state_->opts;
+}
+
+}  // namespace sv::mem

@@ -1,0 +1,96 @@
+// BufferPool: per-node pooled payload storage with VIA-style registration
+// semantics (DESIGN.md §10).
+//
+// A pool hands out mutable staging buffers (PooledBuffer); sealing one
+// freezes it into an immutable Payload span. When the last Payload view of
+// a sealed buffer dies, the storage returns to the pool's LIFO free list
+// instead of the allocator — so steady-state producers (the vizapp data
+// repositories) allocate only during warm-up, and reuse is a counted,
+// deterministic event (`mem.pool_reuse`).
+//
+// Registration: a pool created with `registered = true` models memory
+// pinned for DMA (the paper's VIA descriptor pools). Its Payloads report
+// registered() == true, it counts one `mem.registrations` event at
+// creation and `mem.registered_bytes` per freshly pinned chunk. The pool
+// itself charges no simulated time — time is charged where the paper's
+// hardware charged it: via::Nic::register_memory for pinning, and the
+// transport's copy ledger for every unregistered byte that crosses the
+// user/kernel boundary (mem/ledger.h).
+//
+// Determinism: the free list is strictly LIFO and the simulator is
+// single-threaded, so acquire/release interleaving — and therefore every
+// mem.* counter — is identical across runs of the same seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/payload.h"
+
+namespace sv::obs {
+struct Hub;
+}  // namespace sv::obs
+
+namespace sv::mem {
+
+class BufferPool;
+
+/// A mutable staging buffer leased from a BufferPool. Fill data() and then
+/// seal() into an immutable Payload; dropping an unsealed buffer returns
+/// the storage to the pool untouched.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(PooledBuffer&&) noexcept = default;
+  PooledBuffer& operator=(PooledBuffer&&) noexcept = default;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer();
+
+  [[nodiscard]] std::byte* data() { return buf_->data(); }
+  [[nodiscard]] std::size_t size() const { return buf_ ? buf_->size() : 0; }
+  [[nodiscard]] bool valid() const { return buf_ != nullptr; }
+
+  /// Freezes the buffer into an immutable single-span Payload. The storage
+  /// flows back to the pool when the last Payload view of it is released.
+  [[nodiscard]] Payload seal() &&;
+
+ private:
+  friend class BufferPool;
+  struct State;
+  PooledBuffer(std::shared_ptr<State> state,
+               std::unique_ptr<std::vector<std::byte>> buf);
+
+  std::shared_ptr<State> state_;
+  std::unique_ptr<std::vector<std::byte>> buf_;
+};
+
+class BufferPool {
+ public:
+  struct Options {
+    /// Metric label: counters register as `mem.pool_*{pool=<label>}`.
+    std::string label = "pool";
+    /// VIA-style pinned memory (see file comment).
+    bool registered = false;
+  };
+
+  /// `hub` may be null (no metrics; used by unit micro-paths and benches
+  /// that run without a simulation).
+  BufferPool(obs::Hub* hub, Options options);
+
+  /// Leases a buffer of exactly `bytes` bytes, reusing the most recently
+  /// released chunk that fits (LIFO first-fit) or allocating a fresh one.
+  [[nodiscard]] PooledBuffer acquire(std::size_t bytes);
+
+  /// Chunks currently idle on the free list.
+  [[nodiscard]] std::size_t free_chunks() const;
+  [[nodiscard]] const Options& options() const;
+
+ private:
+  std::shared_ptr<PooledBuffer::State> state_;
+};
+
+}  // namespace sv::mem

@@ -1,0 +1,39 @@
+#include "mem/ledger.h"
+
+#include <string>
+
+#include "obs/hub.h"
+
+namespace sv::mem {
+
+void charge_copy(obs::Hub* hub, SimTime now, int node, std::string_view stage,
+                 std::uint64_t bytes) {
+  if (hub == nullptr) return;
+  obs::Registry& reg = hub->registry;
+  const std::string at = "{at=" + std::string(stage) + "}";
+  reg.counter("mem.copies").inc();
+  reg.counter("mem.copies" + at).inc();
+  reg.counter("mem.copy_bytes").inc(bytes);
+  reg.counter("mem.copy_bytes" + at).inc(bytes);
+  if (hub->tracer.enabled()) {
+    std::string name = "copy.";
+    name += stage;
+    hub->tracer.instant(now, node, "mem", name, bytes);
+  }
+}
+
+void charge_registration(obs::Hub* hub, SimTime now, int node,
+                         std::uint64_t bytes) {
+  if (hub == nullptr) return;
+  hub->registry.counter("mem.registrations").inc();
+  hub->registry.counter("mem.registered_bytes").inc(bytes);
+  if (hub->tracer.enabled()) {
+    hub->tracer.instant(now, node, "mem", "registration", bytes);
+  }
+}
+
+std::uint64_t copies_recorded(const obs::Hub& hub) {
+  return hub.registry.counter_value("mem.copies");
+}
+
+}  // namespace sv::mem

@@ -59,6 +59,10 @@ CalibrationProfile CalibrationProfile::kernel_tcp() {
   p.segment_bytes = 1460;                       // Ethernet MSS
   p.pipeline_frame_bytes = p.segment_bytes;
   p.window_bytes = 64 * 1024;                   // default socket buffer
+  // Copy attribution: the send-side 9.0 ns/B *is* the user->kernel memcpy;
+  // the receive path's 10.2 ns/B splits into checksum + the kernel->user
+  // copy. One crossing is attributed at the send-side copy rate.
+  p.copy_per_byte = p.send_per_byte;
   return p;
 }
 

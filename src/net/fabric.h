@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "mem/payload.h"
 #include "net/calibration.h"
 #include "net/cluster.h"
 #include "net/cost_model.h"
@@ -43,8 +44,12 @@ struct Message {
   /// Timestamps for latency accounting.
   SimTime sent_at{};
   SimTime delivered_at{};
-  /// Optional real payload (shared, never copied by the fabric).
-  std::shared_ptr<const std::vector<std::byte>> payload{};
+  /// Payload view (mem/payload.h): empty for pure timing messages,
+  /// virtual or materialized otherwise. Shared by reference — the fabric
+  /// and every transport move it without copying bytes (svlint SV008);
+  /// copies happen only at modeled user↔kernel boundaries and are charged
+  /// through mem::charge_copy.
+  mem::Payload payload{};
   /// Optional application metadata (e.g. a DataCutter buffer descriptor).
   std::any meta{};
 };

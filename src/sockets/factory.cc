@@ -36,26 +36,36 @@ via::Nic& SocketFactory::via_nic(std::size_t node) {
 
 SocketPair SocketFactory::connect(std::size_t src, std::size_t dst,
                                   net::Transport transport) {
-  if (fidelity_ == Fidelity::kFast) {
-    const std::string name = std::string(net::transport_name(transport)) +
-                             ".conn" + std::to_string(next_conn_id_++);
-    auto profile = net::CalibrationProfile::for_transport(transport);
-    if (window_override_ != 0) profile.window_bytes = window_override_;
-    return FastSocket::make_pair(sim_, &cluster_->node(src),
-                                 &cluster_->node(dst), transport, profile,
-                                 name);
+  SocketPair pair = [&] {
+    if (fidelity_ == Fidelity::kFast) {
+      const std::string name = std::string(net::transport_name(transport)) +
+                               ".conn" + std::to_string(next_conn_id_++);
+      auto profile = net::CalibrationProfile::for_transport(transport);
+      if (window_override_ != 0) profile.window_bytes = window_override_;
+      return FastSocket::make_pair(sim_, &cluster_->node(src),
+                                   &cluster_->node(dst), transport, profile,
+                                   name);
+    }
+    switch (transport) {
+      case net::Transport::kKernelTcp:
+        return DetailedTcpSocket::make_pair(tcp_stack(src), tcp_stack(dst));
+      case net::Transport::kSocketVia:
+        return DetailedViaSocket::make_pair(via_nic(src), via_nic(dst));
+      case net::Transport::kVia:
+        throw std::invalid_argument(
+            "SocketFactory: raw VIA has no detailed sockets layer; use "
+            "via::Nic directly");
+    }
+    throw std::invalid_argument("SocketFactory: unknown transport");
+  }();
+  if (copy_scale_pct_ > 0) {
+    const auto profile = net::CalibrationProfile::for_transport(transport);
+    pair.first->set_copy_ablation(profile.copy_fixed, profile.copy_per_byte,
+                                  copy_scale_pct_);
+    pair.second->set_copy_ablation(profile.copy_fixed, profile.copy_per_byte,
+                                   copy_scale_pct_);
   }
-  switch (transport) {
-    case net::Transport::kKernelTcp:
-      return DetailedTcpSocket::make_pair(tcp_stack(src), tcp_stack(dst));
-    case net::Transport::kSocketVia:
-      return DetailedViaSocket::make_pair(via_nic(src), via_nic(dst));
-    case net::Transport::kVia:
-      throw std::invalid_argument(
-          "SocketFactory: raw VIA has no detailed sockets layer; use "
-          "via::Nic directly");
-  }
-  throw std::invalid_argument("SocketFactory: unknown transport");
+  return pair;
 }
 
 }  // namespace sv::sockets

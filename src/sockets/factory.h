@@ -28,6 +28,13 @@ class SocketFactory {
   /// (0 = use the profile default).
   void set_window_override(std::uint64_t bytes) { window_override_ = bytes; }
 
+  /// Copy-cost ablation for subsequently connected sockets: every modeled
+  /// payload copy additionally charges (profile.copy_fixed +
+  /// copy_per_byte*n) * pct / 100 of sim time to the copying process.
+  /// 0 (default) = pure accounting. Only copying transports (kernel TCP)
+  /// are affected; zero-copy transports record no copies to scale.
+  void set_copy_cost_scale_pct(int pct) { copy_scale_pct_ = pct; }
+
   [[nodiscard]] Fidelity fidelity() const { return fidelity_; }
   [[nodiscard]] net::Cluster& cluster() { return *cluster_; }
 
@@ -40,6 +47,7 @@ class SocketFactory {
   net::Cluster* cluster_;
   Fidelity fidelity_;
   std::uint64_t window_override_ = 0;
+  int copy_scale_pct_ = 0;
   std::uint64_t next_conn_id_ = 0;
   std::map<std::size_t, std::unique_ptr<tcpstack::TcpStack>> tcp_stacks_;
   std::map<std::size_t, std::unique_ptr<via::Nic>> via_nics_;

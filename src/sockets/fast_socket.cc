@@ -1,6 +1,18 @@
 #include "sockets/fast_socket.h"
 
 namespace sv::sockets {
+namespace {
+
+/// Kernel TCP is the only fast-model transport that copies payload across
+/// the user/kernel boundary (once per side per message); VIA, SocketVIA
+/// and RDMA DMA straight from registered user buffers. The per-byte *time*
+/// of these copies is already inside the calibrated profile; here the
+/// *events* are counted (DESIGN.md §10).
+bool transport_copies(net::Transport t) {
+  return t == net::Transport::kKernelTcp;
+}
+
+}  // namespace
 
 SocketPair FastSocket::make_pair(sim::Simulation* sim, net::Node* a,
                                  net::Node* b, net::Transport transport,
@@ -25,6 +37,7 @@ FastSocket::FastSocket(sim::Simulation* sim, net::Transport transport,
 void FastSocket::send(net::Message m) {
   const std::uint64_t bytes = m.bytes;
   const SimTime start = obs_now();
+  if (transport_copies(transport_)) note_copy("tcp.user_to_kernel", bytes);
   out_->send(std::move(m));
   note_sent(bytes);
   obs_span(start, "send", bytes);
@@ -34,6 +47,7 @@ std::optional<net::Message> FastSocket::recv() {
   const SimTime start = obs_now();
   auto m = in_->recv();
   if (m) {
+    if (transport_copies(transport_)) note_copy("tcp.kernel_to_user", m->bytes);
     note_received(m->bytes);
     obs_span(start, "recv", m->bytes);
   }
@@ -42,7 +56,10 @@ std::optional<net::Message> FastSocket::recv() {
 
 std::optional<net::Message> FastSocket::try_recv() {
   auto m = in_->try_recv();
-  if (m) note_received(m->bytes);
+  if (m) {
+    if (transport_copies(transport_)) note_copy("tcp.kernel_to_user", m->bytes);
+    note_received(m->bytes);
+  }
   return m;
 }
 
@@ -50,6 +67,9 @@ Result<std::optional<net::Message>> FastSocket::recv_for(SimTime timeout) {
   const SimTime start = obs_now();
   auto r = in_->recv_for(timeout);
   if (r.ok() && r.value()) {
+    if (transport_copies(transport_)) {
+      note_copy("tcp.kernel_to_user", r.value()->bytes);
+    }
     note_received(r.value()->bytes);
     obs_span(start, "recv", r.value()->bytes);
   } else if (!r.ok()) {
@@ -63,6 +83,7 @@ Result<void> FastSocket::send_for(net::Message m, SimTime timeout) {
   const SimTime start = obs_now();
   auto r = out_->send_for(std::move(m), timeout);
   if (r.ok()) {
+    if (transport_copies(transport_)) note_copy("tcp.user_to_kernel", bytes);
     note_sent(bytes);
     obs_span(start, "send", bytes);
   } else {

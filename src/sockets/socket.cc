@@ -1,5 +1,6 @@
 #include "sockets/socket.h"
 
+#include "mem/ledger.h"
 #include "sim/simulation.h"
 
 namespace sv::sockets {
@@ -69,6 +70,26 @@ void SvSocket::note_timeout(std::string_view op) {
     name += op;
     hub_->tracer.instant(sim_->now(), node_id_, "socket", name);
   }
+}
+
+void SvSocket::note_copy(std::string_view stage, std::uint64_t bytes) {
+  if (sim_ == nullptr) return;
+  mem::charge_copy(hub_, sim_->now(), node_id_, stage, bytes);
+  if (copy_scale_pct_ > 0) {
+    // Scaled copy time (ablation): integer ns arithmetic keeps the charge
+    // bit-reproducible (no float time; svlint SV006).
+    const SimTime base = copy_fixed_ + copy_per_byte_.for_bytes(bytes);
+    const SimTime extra = SimTime::nanoseconds(
+        base.ns() * copy_scale_pct_ / 100);
+    if (extra > SimTime::zero()) sim_->delay(extra);
+  }
+}
+
+void SvSocket::set_copy_ablation(SimTime copy_fixed, PerByteCost copy_per_byte,
+                                 int scale_pct) {
+  copy_fixed_ = copy_fixed;
+  copy_per_byte_ = copy_per_byte;
+  copy_scale_pct_ = scale_pct;
 }
 
 void SvSocket::obs_span(SimTime start, std::string_view op,

@@ -85,6 +85,15 @@ class SvSocket {
   /// Snapshot of this socket's registry counters (zeros before init_obs).
   [[nodiscard]] SocketStats stats() const;
 
+  /// Installs the copy-cost ablation: each modeled payload copy additionally
+  /// delays the caller by (copy_fixed + copy_per_byte*n) * scale_pct / 100.
+  /// scale_pct = 0 (default) restores pure accounting — the calibrated
+  /// profile already embeds real copy time (DESIGN.md §10). Zero-copy
+  /// transports record no copies, so the knob is inert for them; that
+  /// asymmetry is the ablation.
+  void set_copy_ablation(SimTime copy_fixed, PerByteCost copy_per_byte,
+                         int scale_pct);
+
  protected:
   /// Binds this endpoint's counters into the simulation registry: per-socket
   /// `socket.*{socket=<label>.<serial>}`, aggregate `socket.*`, and per-link
@@ -99,6 +108,13 @@ class SvSocket {
   /// and drops a trace instant naming the stall reason (`op`, e.g.
   /// "timeout.credit_stall").
   void note_timeout(std::string_view op);
+  /// Records one modeled payload copy (mem/ledger.h): `mem.copies`/
+  /// `mem.copy_bytes` counters plus a trace instant at `stage` (e.g.
+  /// "tcp.user_to_kernel"). Accounting only — unless a copy-cost ablation
+  /// scale is installed (set_copy_ablation), in which case the scaled copy
+  /// time is additionally charged to the calling process. Zero-copy
+  /// transports never call this; that absence IS their model.
+  void note_copy(std::string_view stage, std::uint64_t bytes);
   /// Records span [start, now] as `socket.<label>.<op>` on the local node.
   void obs_span(SimTime start, std::string_view op, std::uint64_t bytes);
   [[nodiscard]] SimTime obs_now() const;
@@ -108,6 +124,9 @@ class SvSocket {
   obs::Hub* hub_ = nullptr;
   int node_id_ = -1;
   std::string label_;
+  SimTime copy_fixed_{};
+  PerByteCost copy_per_byte_{};
+  int copy_scale_pct_ = 0;
   obs::Counter* c_msgs_sent_ = nullptr;
   obs::Counter* c_bytes_sent_ = nullptr;
   obs::Counter* c_msgs_recv_ = nullptr;

@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "mem/payload.h"
+
 namespace sv::sockets {
 namespace {
 
@@ -15,6 +17,27 @@ net::Message eof_marker() {
   net::Message m;
   m.bytes = std::numeric_limits<std::uint64_t>::max();
   return m;
+}
+
+/// Builds the on-wire frame for `m` and strips its payload: an 8-byte
+/// virtual length header followed by the body. A message without a
+/// materialized payload sends a virtual body of the same length, so
+/// timing-only and materialized traffic take the identical stream path.
+mem::Payload take_frame(net::Message& m, std::uint64_t header_bytes) {
+  mem::Payload body = m.payload.empty() && m.bytes > 0
+                          ? mem::Payload::virtual_bytes(m.bytes)
+                          : std::move(m.payload);
+  m.payload = mem::Payload{};
+  return mem::Payload::virtual_bytes(header_bytes).concat(body);
+}
+
+/// Re-attaches the received body to the meta message. Virtual bodies (the
+/// sender had no materialized payload) collapse back to an empty payload so
+/// receivers see exactly what the sender's message carried.
+void attach_body(net::Message& m, const mem::Payload& frame,
+                 std::uint64_t header_bytes) {
+  mem::Payload body = frame.slice(header_bytes, m.bytes);
+  m.payload = body.materialized() ? std::move(body) : mem::Payload{};
 }
 
 }  // namespace
@@ -41,12 +64,15 @@ void DetailedTcpSocket::send(net::Message m) {
   const std::uint64_t bytes = m.bytes;
   const SimTime start = obs_now();
   m.sent_at = conn_->stack().sim().now();
-  const std::uint64_t frame = kHeaderBytes + m.bytes;
+  mem::Payload frame = take_frame(m, kHeaderBytes);
   // Metadata rides an in-order side queue; the frame bytes go through the
   // full TCP machinery. Single writer per socket assumed (as in DataCutter).
   outgoing_->metas.push_back(std::move(m));
   outgoing_->meta_available.notify_all();
-  conn_->send(frame);
+  // Handing user bytes to the stack models the write()-side user->kernel
+  // copy; its time is already in the calibrated per-byte send cost.
+  note_copy("tcp.user_to_kernel", bytes);
+  conn_->send_payload(std::move(frame));
   note_sent(bytes);
   obs_span(start, "send", bytes);
 }
@@ -62,7 +88,9 @@ std::optional<net::Message> DetailedTcpSocket::recv() {
   }
   net::Message m = std::move(incoming_->metas.front());
   incoming_->metas.pop_front();
-  conn_->recv_exact(kHeaderBytes + m.bytes);
+  const mem::Payload frame = conn_->recv_exact_payload(kHeaderBytes + m.bytes);
+  attach_body(m, frame, kHeaderBytes);
+  note_copy("tcp.kernel_to_user", m.bytes);
   m.delivered_at = conn_->stack().sim().now();
   note_received(m.bytes);
   obs_span(start, "recv", m.bytes);
@@ -95,13 +123,15 @@ Result<std::optional<net::Message>> DetailedTcpSocket::recv_for(
     note_timeout("timeout.recv");
     return Error::timeout("DetailedTcpSocket: recv timed out");
   }
-  auto drained = conn_->recv_exact_for(frame, left);
+  auto drained = conn_->recv_exact_payload_for(frame, left);
   if (!drained.ok()) {
     note_timeout("timeout.recv_drain");
     return drained.error();
   }
   net::Message m = std::move(incoming_->metas.front());
   incoming_->metas.pop_front();
+  attach_body(m, drained.value(), kHeaderBytes);
+  note_copy("tcp.kernel_to_user", m.bytes);
   m.delivered_at = conn_->stack().sim().now();
   note_received(m.bytes);
   obs_span(start, "recv", m.bytes);
@@ -116,11 +146,12 @@ Result<void> DetailedTcpSocket::send_for(net::Message m, SimTime timeout) {
   const std::uint64_t bytes = m.bytes;
   const SimTime start = obs_now();
   m.sent_at = conn_->stack().sim().now();
-  const std::uint64_t frame = kHeaderBytes + m.bytes;
+  mem::Payload frame = take_frame(m, kHeaderBytes);
   outgoing_->metas.push_back(std::move(m));
   outgoing_->meta_available.notify_all();
-  auto r = conn_->send_for(frame, timeout);
+  auto r = conn_->send_payload_for(std::move(frame), timeout);
   if (r.ok()) {
+    note_copy("tcp.user_to_kernel", bytes);
     note_sent(bytes);
     obs_span(start, "send", bytes);
   } else {

@@ -60,70 +60,70 @@ std::uint64_t TcpConnection::peer_window_available() const {
 }
 
 void TcpConnection::send(std::uint64_t bytes) {
+  // Timing-only stream: a virtual payload flows through the exact same
+  // segmentation/reassembly machinery as materialized bytes.
+  (void)send_impl(mem::Payload::virtual_bytes(bytes), SimTime::zero());
+}
+
+void TcpConnection::send_payload(mem::Payload payload) {
+  (void)send_impl(std::move(payload), SimTime::zero());
+}
+
+Result<void> TcpConnection::send_for(std::uint64_t bytes, SimTime timeout) {
+  return send_impl(mem::Payload::virtual_bytes(bytes), timeout);
+}
+
+Result<void> TcpConnection::send_payload_for(mem::Payload payload,
+                                             SimTime timeout) {
+  return send_impl(std::move(payload), timeout);
+}
+
+Result<void> TcpConnection::send_impl(mem::Payload payload, SimTime timeout) {
   if (fin_queued_) {
     throw std::logic_error("TcpConnection[" + name_ + "]::send after close");
   }
+  const bool timed = timeout > SimTime::zero();
+  const SimTime deadline = stack_->sim().now() + timeout;
   // Syscall entry, then copy into the socket buffer incrementally as ACKs
   // free space — like the kernel, so large writes overlap with transmission
   // instead of degenerating to stop-and-wait.
   stack_->node().tx_host().use(stack_->profile().send_fixed);
   // Copy in bounded quanta so transmission of early bytes overlaps the
-  // copying of later ones (as the kernel's skb-at-a-time copy does).
+  // copying of later ones (as the kernel's skb-at-a-time copy does). The
+  // buffered quantum is a zero-copy slice; the user→kernel copy *time* is
+  // the send_per_byte charge below, and the copy *event* is counted once
+  // per message by the socket layer (mem/ledger.h).
   const std::uint64_t quantum = std::uint64_t{2} * options_.mss;
-  std::uint64_t remaining = bytes;
-  while (remaining > 0) {
+  const std::uint64_t bytes = payload.size();
+  std::uint64_t offset = 0;
+  while (offset < bytes) {
     std::uint64_t used = unsent_bytes_ + inflight_bytes_;
     while (used >= options_.send_buffer) {
-      send_space_.wait();
-      used = unsent_bytes_ + inflight_bytes_;
-    }
-    const std::uint64_t take =
-        std::min({remaining, options_.send_buffer - used, quantum});
-    stack_->node().tx_host().use(
-        stack_->profile().send_per_byte.for_bytes(take));
-    unsent_bytes_ += take;
-    c_bytes_sent_->inc(take);
-    remaining -= take;
-    tx_wake_.notify_all();
-    // Yield so the tx loop can interleave segment transmission with the
-    // next copy quantum on the shared host path.
-    stack_->sim().delay(SimTime::zero());
-  }
-}
-
-Result<void> TcpConnection::send_for(std::uint64_t bytes, SimTime timeout) {
-  if (timeout <= SimTime::zero()) {
-    send(bytes);
-    return Result<void>::success();
-  }
-  if (fin_queued_) {
-    throw std::logic_error("TcpConnection[" + name_ + "]::send after close");
-  }
-  const SimTime deadline = stack_->sim().now() + timeout;
-  stack_->node().tx_host().use(stack_->profile().send_fixed);
-  const std::uint64_t quantum = std::uint64_t{2} * options_.mss;
-  std::uint64_t remaining = bytes;
-  while (remaining > 0) {
-    std::uint64_t used = unsent_bytes_ + inflight_bytes_;
-    while (used >= options_.send_buffer) {
-      const SimTime left = deadline - stack_->sim().now();
-      if (left <= SimTime::zero() || !send_space_.wait_for(left)) {
-        used = unsent_bytes_ + inflight_bytes_;
-        if (used < options_.send_buffer) break;  // raced with an ACK
-        return Error::timeout("TcpConnection[" + name_ +
-                              "]: send timed out with a full socket buffer "
-                              "(peer not ACKing)");
+      if (timed) {
+        const SimTime left = deadline - stack_->sim().now();
+        if (left <= SimTime::zero() || !send_space_.wait_for(left)) {
+          used = unsent_bytes_ + inflight_bytes_;
+          if (used < options_.send_buffer) break;  // raced with an ACK
+          return Error::timeout("TcpConnection[" + name_ +
+                                "]: send timed out with a full socket buffer "
+                                "(peer not ACKing)");
+        }
+      } else {
+        send_space_.wait();
       }
       used = unsent_bytes_ + inflight_bytes_;
     }
     const std::uint64_t take =
-        std::min({remaining, options_.send_buffer - used, quantum});
+        std::min({bytes - offset, options_.send_buffer - used, quantum});
     stack_->node().tx_host().use(
         stack_->profile().send_per_byte.for_bytes(take));
+    unsent_stream_.push(payload.slice(offset, take));
     unsent_bytes_ += take;
     c_bytes_sent_->inc(take);
-    remaining -= take;
+    offset += take;
     tx_wake_.notify_all();
+    // Yield so the tx loop can interleave segment transmission with the
+    // next copy quantum on the shared host path.
     stack_->sim().delay(SimTime::zero());
   }
   return Result<void>::success();
@@ -143,6 +143,7 @@ std::uint64_t TcpConnection::recv(std::uint64_t max) {
   // Syscall cost charged once data is deliverable.
   stack_->sim().delay(stack_->profile().recv_fixed);
   const std::uint64_t take = std::min(max, recv_buf_bytes_);
+  (void)recv_stream_.pop(take);  // byte-count caller: discard the views
   recv_buf_bytes_ -= take;
   // Window opened: the peer's tx loop may resume.
   peer_->tx_wake_.notify_all();
@@ -150,42 +151,50 @@ std::uint64_t TcpConnection::recv(std::uint64_t max) {
 }
 
 std::uint64_t TcpConnection::recv_exact(std::uint64_t n) {
-  if (n == 0) return 0;
+  return recv_exact_impl(n, SimTime::zero(), nullptr).value();
+}
+
+mem::Payload TcpConnection::recv_exact_payload(std::uint64_t n) {
+  mem::Payload out;
+  (void)recv_exact_impl(n, SimTime::zero(), &out);
+  return out;
+}
+
+Result<std::uint64_t> TcpConnection::recv_exact_for(std::uint64_t n,
+                                                    SimTime timeout) {
+  return recv_exact_impl(n, timeout, nullptr);
+}
+
+Result<mem::Payload> TcpConnection::recv_exact_payload_for(std::uint64_t n,
+                                                           SimTime timeout) {
+  mem::Payload out;
+  auto r = recv_exact_impl(n, timeout, &out);
+  if (!r.ok()) return r.error();
+  return out;
+}
+
+Result<std::uint64_t> TcpConnection::recv_exact_impl(std::uint64_t n,
+                                                     SimTime timeout,
+                                                     mem::Payload* out) {
+  if (n == 0) return std::uint64_t{0};
+  const bool timed = timeout > SimTime::zero();
+  const SimTime deadline = stack_->sim().now() + timeout;
   // One MSG_WAITALL syscall: a single fixed cost, then drain until n bytes.
   bool charged = false;
   std::uint64_t total = 0;
   while (total < n) {
     while (recv_buf_bytes_ == 0 && !fin_received_) {
-      recv_wait_.wait();
-    }
-    if (recv_buf_bytes_ == 0) break;  // EOF before n bytes
-    if (!charged) {
-      stack_->sim().delay(stack_->profile().recv_fixed);
-      charged = true;
-    }
-    const std::uint64_t take = std::min(n - total, recv_buf_bytes_);
-    recv_buf_bytes_ -= take;
-    total += take;
-    peer_->tx_wake_.notify_all();
-  }
-  return total;
-}
-
-Result<std::uint64_t> TcpConnection::recv_exact_for(std::uint64_t n,
-                                                    SimTime timeout) {
-  if (timeout <= SimTime::zero()) return recv_exact(n);
-  if (n == 0) return std::uint64_t{0};
-  const SimTime deadline = stack_->sim().now() + timeout;
-  bool charged = false;
-  std::uint64_t total = 0;
-  while (total < n) {
-    while (recv_buf_bytes_ == 0 && !fin_received_) {
-      const SimTime remaining = deadline - stack_->sim().now();
-      if (remaining <= SimTime::zero() ||
-          !recv_wait_.wait_for(remaining)) {
-        if (recv_buf_bytes_ > 0 || fin_received_) break;  // raced with data
-        return Error::timeout("TcpConnection[" + name_ + "]: recv timed out after " +
-                              timeout.to_string());
+      if (timed) {
+        const SimTime remaining = deadline - stack_->sim().now();
+        if (remaining <= SimTime::zero() ||
+            !recv_wait_.wait_for(remaining)) {
+          if (recv_buf_bytes_ > 0 || fin_received_) break;  // raced with data
+          return Error::timeout("TcpConnection[" + name_ +
+                                "]: recv timed out after " +
+                                timeout.to_string());
+        }
+      } else {
+        recv_wait_.wait();
       }
     }
     if (recv_buf_bytes_ == 0) break;  // EOF before n bytes
@@ -194,6 +203,8 @@ Result<std::uint64_t> TcpConnection::recv_exact_for(std::uint64_t n,
       charged = true;
     }
     const std::uint64_t take = std::min(n - total, recv_buf_bytes_);
+    mem::Payload part = recv_stream_.pop(take);
+    if (out != nullptr) *out = out->concat(part);
     recv_buf_bytes_ -= take;
     total += take;
     peer_->tx_wake_.notify_all();
@@ -245,7 +256,15 @@ void TcpConnection::send_segment(std::uint64_t bytes, bool fin) {
   const std::uint64_t seq = snd_nxt_;
   snd_nxt_ += bytes + (fin ? 1 : 0);  // FIN occupies one sequence number
   inflight_bytes_ += bytes;
-  unacked_.emplace(seq, SentSegment{bytes, fin});
+  // Slice this segment's bytes off the unsent stream by reference; the
+  // retransmit buffer holds the same views (no copy, ever).
+  mem::Payload seg_payload;
+  if (bytes > 0) {
+    SV_DCHECK(unsent_stream_.bytes() >= bytes,
+              "unsent stream out of sync with unsent_bytes_");
+    seg_payload = unsent_stream_.pop(bytes);
+  }
+  unacked_.emplace(seq, SentSegment{bytes, fin, seg_payload});
   c_segments_sent_->inc();
   if (fin) {
     fin_sent_ = true;
@@ -260,8 +279,8 @@ void TcpConnection::send_segment(std::uint64_t bytes, bool fin) {
     c_acks_sent_->inc();
     unacked_segments_ = 0;
   }
-  stack_->transmit(
-      TcpStack::Segment{this, seq, bytes, rcv_nxt_, has_ack, fin});
+  stack_->transmit(TcpStack::Segment{this, seq, bytes, rcv_nxt_, has_ack, fin,
+                                     std::move(seg_payload)});
   arm_rto();
 }
 
@@ -274,7 +293,8 @@ void TcpConnection::retransmit_front() {
   tracer().instant(stack_->sim().now(), node_id(), "tcp", "retx",
                    it->second.bytes);
   stack_->transmit(TcpStack::Segment{this, it->first, it->second.bytes,
-                                     rcv_nxt_, false, it->second.fin});
+                                     rcv_nxt_, false, it->second.fin,
+                                     it->second.payload});
   arm_rto();
 }
 
@@ -307,7 +327,7 @@ void TcpConnection::on_rto_expiry() {
 }
 
 void TcpConnection::on_segment(std::uint64_t seq, std::uint64_t bytes,
-                               bool fin) {
+                               bool fin, mem::Payload payload) {
   const std::uint64_t seg_end = seq + bytes + (fin ? 1 : 0);
   if (seg_end <= rcv_nxt_) {
     // Spurious retransmission of fully-received data: re-ACK so the sender
@@ -319,20 +339,21 @@ void TcpConnection::on_segment(std::uint64_t seq, std::uint64_t bytes,
     // A gap: hold for reassembly and emit an immediate duplicate ACK (the
     // signal fast retransmit counts). Fixed segment boundaries make the
     // map key collision-free; re-inserts of the same segment are no-ops.
-    ooo_segments_.emplace(seq, OooSegment{bytes, fin});
+    ooo_segments_.emplace(seq, OooSegment{bytes, fin, std::move(payload)});
     c_ooo_->inc();
     send_ack_now();
     return;
   }
   SV_DCHECK(seq == rcv_nxt_, "partial segment overlap is impossible with "
                              "fixed retransmit boundaries");
-  accept_segment(bytes, fin);
+  accept_segment(bytes, fin, std::move(payload));
   // Drain the reassembly queue now contiguous with rcv_nxt.
   while (!ooo_segments_.empty()) {
     const auto it = ooo_segments_.begin();
     if (it->first > rcv_nxt_) break;
     if (it->first == rcv_nxt_) {
-      accept_segment(it->second.bytes, it->second.fin);
+      accept_segment(it->second.bytes, it->second.fin,
+                     std::move(it->second.payload));
     }
     ooo_segments_.erase(it);
   }
@@ -340,9 +361,12 @@ void TcpConnection::on_segment(std::uint64_t seq, std::uint64_t bytes,
   maybe_ack();
 }
 
-void TcpConnection::accept_segment(std::uint64_t bytes, bool fin) {
+void TcpConnection::accept_segment(std::uint64_t bytes, bool fin,
+                                   mem::Payload payload) {
+  SV_DCHECK(payload.size() == bytes, "segment payload/byte-count mismatch");
   rcv_nxt_ += bytes + (fin ? 1 : 0);
   recv_buf_bytes_ += bytes;
+  recv_stream_.push(std::move(payload));
   c_bytes_received_->inc(bytes);
   if (fin) {
     fin_received_ = true;
@@ -478,7 +502,8 @@ void TcpStack::rx_loop() {
       // Interrupt + TCP/IP input + checksum + copy to the socket buffer.
       node_->rx_proto().use(profile_.recv_per_seg +
                             profile_.recv_per_byte.for_bytes(seg->bytes));
-      receiver->on_segment(seg->seq, seg->bytes, seg->fin);
+      receiver->on_segment(seg->seq, seg->bytes, seg->fin,
+                           std::move(seg->payload));
     }
     if (seg->has_ack) {
       // ACK processing is cheap but not free.

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "mem/payload.h"
 #include "net/calibration.h"
 #include "net/cluster.h"
 #include "net/cost_model.h"
@@ -69,14 +70,22 @@ class TcpConnection {
   TcpConnection& operator=(const TcpConnection&) = delete;
 
   /// Blocking send of `bytes` (copied into the socket buffer; blocks while
-  /// the buffer is full). Returns when all bytes are buffered.
+  /// the buffer is full). Returns when all bytes are buffered. Timing-only:
+  /// the stream carries a virtual payload of `bytes` bytes.
   void send(std::uint64_t bytes);
+
+  /// Blocking send of a payload chain. The stack slices it into segments
+  /// by reference (mem/payload.h): retransmit buffers and reassembly hold
+  /// views, never copies. The modeled user→kernel copy time is the
+  /// send_per_byte charge; the *event* is counted by the socket layer.
+  void send_payload(mem::Payload payload);
 
   /// Timed send: ErrorCode::kTimeout if socket-buffer space stops freeing
   /// up within `timeout` (a peer that stops ACKing, e.g. a stalled node).
   /// Bytes already buffered stay queued, so treat a timeout as fatal for
   /// the stream. `timeout` <= 0 means wait forever.
   Result<void> send_for(std::uint64_t bytes, SimTime timeout);
+  Result<void> send_payload_for(mem::Payload payload, SimTime timeout);
 
   /// Blocking receive: returns 1..max bytes, or 0 at end-of-stream.
   std::uint64_t recv(std::uint64_t max);
@@ -85,11 +94,17 @@ class TcpConnection {
   /// (or end-of-stream; returns bytes actually read).
   std::uint64_t recv_exact(std::uint64_t n);
 
+  /// recv_exact returning the drained bytes as a payload chain assembled
+  /// zero-copy from the delivered segments (short on end-of-stream).
+  mem::Payload recv_exact_payload(std::uint64_t n);
+
   /// recv_exact with a deadline: on timeout returns ErrorCode::kTimeout and
   /// the partially-drained byte count is lost to the caller, so treat a
   /// timeout as fatal for the stream (the recovery story the DataCutter
   /// runtime needs for stalled peers). `timeout` <= 0 means wait forever.
   Result<std::uint64_t> recv_exact_for(std::uint64_t n, SimTime timeout);
+  Result<mem::Payload> recv_exact_payload_for(std::uint64_t n,
+                                              SimTime timeout);
 
   /// Half-closes the sending direction (FIN after all queued data).
   void close();
@@ -138,17 +153,28 @@ class TcpConnection {
  private:
   friend class TcpStack;
 
+  // Sent/held segments keep a zero-copy view of their payload slice so
+  // retransmits and reassembly re-use the original storage (never copy).
   struct SentSegment {
     std::uint64_t bytes = 0;
     bool fin = false;
+    mem::Payload payload{};
   };
   struct OooSegment {
     std::uint64_t bytes = 0;
     bool fin = false;
+    mem::Payload payload{};
   };
 
+  /// Common body of send/send_for (timeout <= 0 means wait forever).
+  Result<void> send_impl(mem::Payload payload, SimTime timeout);
+  /// Common body of the recv_exact family. When `out` is non-null the
+  /// drained bytes are appended to it as zero-copy slices.
+  Result<std::uint64_t> recv_exact_impl(std::uint64_t n, SimTime timeout,
+                                        mem::Payload* out);
   void tx_loop();
-  /// Sends a fresh segment of `bytes` payload (seq = snd_nxt_).
+  /// Sends a fresh segment of `bytes` payload (seq = snd_nxt_), slicing
+  /// its bytes off the front of the unsent stream.
   void send_segment(std::uint64_t bytes, bool fin);
   /// Re-sends the earliest unacknowledged segment (go-back recovery).
   void retransmit_front();
@@ -156,9 +182,10 @@ class TcpConnection {
   void cancel_rto();
   void on_rto_expiry();
   /// Receiver side: segment arrived off the wire (any order).
-  void on_segment(std::uint64_t seq, std::uint64_t bytes, bool fin);
+  void on_segment(std::uint64_t seq, std::uint64_t bytes, bool fin,
+                  mem::Payload payload);
   /// Delivers one in-sequence segment into the receive buffer.
-  void accept_segment(std::uint64_t bytes, bool fin);
+  void accept_segment(std::uint64_t bytes, bool fin, mem::Payload payload);
   /// Sender side: cumulative ACK. `pure` marks a data-free segment, the
   /// only kind that counts toward the duplicate-ACK threshold.
   void on_ack(std::uint64_t ackno, bool pure);
@@ -183,6 +210,9 @@ class TcpConnection {
   /// at first transmission, so retransmits never partially overlap.
   std::map<std::uint64_t, SentSegment> unacked_;
   std::uint64_t unsent_bytes_ = 0;    // buffered, not yet segmented
+  /// Payload views of the buffered-but-unsegmented stream, in order;
+  /// always holds exactly unsent_bytes_ bytes.
+  mem::PayloadQueue unsent_stream_;
   std::uint64_t inflight_bytes_ = 0;  // payload bytes sent, not yet ACKed
   bool fin_queued_ = false;
   bool fin_sent_ = false;
@@ -205,6 +235,8 @@ class TcpConnection {
   /// Out-of-order segments held for reassembly, by starting sequence.
   std::map<std::uint64_t, OooSegment> ooo_segments_;
   std::uint64_t recv_buf_bytes_ = 0;
+  /// In-order delivered payload awaiting recv(); holds recv_buf_bytes_.
+  mem::PayloadQueue recv_stream_;
   bool fin_received_ = false;
   std::uint64_t unacked_segments_ = 0;
   bool ack_timer_armed_ = false;
@@ -264,6 +296,8 @@ class TcpStack {
     std::uint64_t ack = 0;    // cumulative ack (receiver's rcv_nxt)
     bool has_ack = false;
     bool fin = false;
+    /// Zero-copy slice of the sender's stream (empty for pure ACKs).
+    mem::Payload payload{};
   };
 
   /// Transmits one segment from `conn` (charges tx_host + wire + rx path).

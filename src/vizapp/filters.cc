@@ -4,6 +4,13 @@
 
 namespace sv::viz {
 
+void RepoFilter::init(dc::FilterContext& ctx) {
+  if (!materialize_) return;
+  mem::BufferPool::Options opts;
+  opts.label = "viz.repo" + std::to_string(ctx.copy_index());
+  pool_.emplace(&ctx.sim().obs(), opts);
+}
+
 void RepoFilter::process(dc::FilterContext& ctx) {
   const auto& query = std::any_cast<const Query&>(ctx.uow().work);
   for (auto block : plan_query(image_, query)) {
@@ -16,11 +23,15 @@ void RepoFilter::process(dc::FilterContext& ctx) {
     b.bytes = bytes;
     b.tag = block;
     if (materialize_) {
-      auto payload = std::make_shared<std::vector<std::byte>>(bytes);
+      // Lease a pooled block and generate pixels straight into it; seal()
+      // freezes it into an immutable payload that returns to the pool when
+      // the last downstream view is released.
+      mem::PooledBuffer lease = pool_->acquire(bytes);
+      std::byte* dst = lease.data();
       for (std::uint64_t j = 0; j < bytes; ++j) {
-        (*payload)[j] = pixel(block, j);
+        dst[j] = pixel(block, j);
       }
-      b.payload = std::move(payload);
+      b.payload = std::move(lease).seal();
     }
     ctx.write(std::move(b));
   }
@@ -44,7 +55,7 @@ void VizFilter::process(dc::FilterContext& ctx) {
       ++payloads_verified_;
       // Guarded reads: going past the written extent is a caught contract
       // violation rather than UB (see DataBuffer::read_at).
-      for (std::uint64_t j = 0; j < b->payload->size(); ++j) {
+      for (std::uint64_t j = 0; j < b->payload.size(); ++j) {
         if (b->read_byte(j) != RepoFilter::pixel(b->tag, j)) {
           ++payload_mismatches_;
           break;

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/units.h"
 #include "datacutter/filter.h"
+#include "mem/buffer_pool.h"
 #include "vizapp/image.h"
 #include "vizapp/query.h"
 
@@ -24,6 +26,9 @@ class RepoFilter : public dc::Filter {
         io_cost_(io_cost),
         materialize_(materialize_payloads) {}
 
+  /// Creates this copy's block pool (pooled host memory; blocks are
+  /// re-leased as downstream consumers release their payload views).
+  void init(dc::FilterContext& ctx) override;
   void process(dc::FilterContext& ctx) override;
 
   /// Deterministic pixel value for byte `offset` of block `block` (used to
@@ -37,6 +42,9 @@ class RepoFilter : public dc::Filter {
   std::size_t copies_;
   PerByteCost io_cost_;
   bool materialize_;
+  /// Pool for materialized blocks (created in init; unregistered host
+  /// memory — the repository is an application, not a NIC).
+  std::optional<mem::BufferPool> pool_;
 };
 
 /// Intermediate processing stage (Clipping / Subsampling in the paper's

@@ -222,13 +222,16 @@ TEST(FabricTest, SharedReceiverContention) {
 TEST(FabricTest, PayloadPassesThroughUntouched) {
   Fixture f;
   Pipe pipe(&f.s, &f.cluster.node(0), &f.cluster.node(1), f.prof, "p");
-  auto payload = std::make_shared<std::vector<std::byte>>(16);
-  (*payload)[0] = std::byte{0xAB};
+  auto storage = std::make_shared<std::vector<std::byte>>(16);
+  (*storage)[0] = std::byte{0xAB};
+  const mem::Payload payload = mem::Payload::wrap(storage);
   bool ok = false;
   f.s.spawn("rx", [&] {
     auto m = pipe.recv();
-    ok = m.has_value() && m->payload &&
-         (*m->payload)[0] == std::byte{0xAB};
+    ok = m.has_value() && m->payload.materialized() &&
+         m->payload.read_byte(0) == std::byte{0xAB} &&
+         // Shared by reference, not copied: same storage refcount.
+         m->payload.span_count() == 1;
   });
   f.s.spawn("tx", [&] {
     Message m;

@@ -1,0 +1,11 @@
+// SV008 fixture: src/mem/ implements the sanctioned copy primitives, so
+// raw byte copies here are the rule's own machinery, not violations.
+#include <cstring>
+#include <vector>
+
+void copy_of_impl(std::vector<std::byte>& dst,
+                  const std::vector<std::byte>& src) {
+  std::memcpy(dst.data(), src.data(), src.size());
+  std::vector<std::byte> clone(src.begin(), src.end());
+  (void)clone;
+}

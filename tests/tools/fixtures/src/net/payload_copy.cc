@@ -1,0 +1,20 @@
+// SV008 fixture: payload bytes copied behind the mem ledger's back.
+#include <cstring>
+#include <vector>
+
+void violations(std::vector<std::byte>& dst,
+                const std::vector<std::byte>& src) {
+  std::memcpy(dst.data(), src.data(), src.size());
+  memmove(dst.data(), src.data(), src.size());
+  std::vector<std::byte> clone(src.begin(), src.end());
+  (void)clone;
+}
+
+void legal_and_suppressed(const std::vector<std::byte>* p) {
+  std::vector<std::byte> sized(1024);  // size construction stays legal
+  std::vector<std::byte> deref(*p);
+  // Models NIC DMA between registered regions. svlint:allow(SV008)
+  std::memcpy(sized.data(), p->data(), p->size());
+  (void)deref;
+  wmemcpy(nullptr, nullptr, 0);  // not a byte copy; must not trip
+}

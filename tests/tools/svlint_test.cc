@@ -29,10 +29,10 @@ bool has(const std::vector<Finding>& fs, const std::string& rule, int line) {
   });
 }
 
-TEST(SvlintRules, RuleTableListsSevenRules) {
-  ASSERT_EQ(rules().size(), 7u);
+TEST(SvlintRules, RuleTableListsEightRules) {
+  ASSERT_EQ(rules().size(), 8u);
   EXPECT_STREQ(rules().front().id, "SV001");
-  EXPECT_STREQ(rules().back().id, "SV007");
+  EXPECT_STREQ(rules().back().id, "SV008");
 }
 
 TEST(SvlintRules, Sv001CatchesUnorderedIteration) {
@@ -137,6 +137,35 @@ TEST(SvlintRules, Sv007ExemptsObsAndCommonLayers) {
   EXPECT_TRUE(scan_source("src/common/log2.cc",
                           "std::uint64_t drops_count_ = 0;\n")
                   .empty());
+}
+
+TEST(SvlintRules, Sv008CatchesRawPayloadCopies) {
+  const auto fs = scan_fixture("src/net/payload_copy.cc");
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV008", 7)) << "std::memcpy";
+  EXPECT_TRUE(has(live, "SV008", 8)) << "unqualified memmove";
+  EXPECT_TRUE(has(live, "SV008", 9)) << "iterator-range byte-vector copy";
+  EXPECT_TRUE(has(live, "SV008", 15)) << "deref byte-vector copy";
+  EXPECT_EQ(live.size(), 4u)
+      << "size construction and wmemcpy must not trip";
+  // The modeled-DMA memcpy is reported but suppressed.
+  ASSERT_EQ(fs.size(), 5u);
+  EXPECT_TRUE(fs.back().suppressed);
+  EXPECT_EQ(fs.back().line, 17);
+}
+
+TEST(SvlintRules, Sv008ExemptsMemLayer) {
+  EXPECT_TRUE(scan_fixture("src/mem/payload_impl_ok.cc").empty())
+      << "src/mem implements the sanctioned copies; the rule must not fire "
+         "there";
+  // The same content relocated outside src/mem does fire.
+  EXPECT_FALSE(
+      unsuppressed(scan_source("src/tcpstack/x.cc",
+                               "void f() { memcpy(a, b, n); }\n"))
+          .empty());
+  // Tests and tools are out of scope: copies there model nothing.
+  EXPECT_TRUE(
+      scan_source("tools/x.cc", "void f() { memcpy(a, b, n); }\n").empty());
 }
 
 TEST(SvlintRules, CleanFileHasNoFindings) {

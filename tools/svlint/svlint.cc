@@ -41,6 +41,11 @@ const std::vector<RuleInfo> kRules = {
      "uint64_t counter member in simulation code (src/ outside src/obs and "
      "src/common): print from bench mains or the harness, and register "
      "statistics as obs::Registry counters so snapshots see them"},
+    {"SV008",
+     "raw payload byte copy (memcpy/memmove, or std::vector<std::byte> "
+     "copy-construction) outside src/mem/: payload bytes move only through "
+     "mem::Payload (copy_of/copy_to) or a BufferPool lease so every copy is "
+     "charged to the mem ledger (DESIGN.md §10)"},
 };
 
 // Directories whose output feeds deterministic event ordering: iterating an
@@ -521,6 +526,48 @@ void check_sv007(const std::string& rel_path,
   }
 }
 
+// ---------------------------------------------------------------------------
+// SV008: payload byte copies outside the mem layer
+// ---------------------------------------------------------------------------
+
+bool mem_rule_applies(const std::string& rel_path) {
+  // src/mem implements the sanctioned copy primitives; everything else in
+  // src/ (and the benches, which model applications) must route through it.
+  if (starts_with(rel_path, "src/mem/")) return false;
+  return starts_with(rel_path, "src/") || starts_with(rel_path, "bench/");
+}
+
+void check_sv008(const std::string& rel_path,
+                 const std::vector<std::string>& code,
+                 std::vector<Finding>* out) {
+  if (!mem_rule_applies(rel_path)) return;
+  // (a) memcpy/memmove — the classic smuggled copy. `[^\w.]` admits the
+  // "std::" qualifier (via the ':') while excluding members like
+  // x.memcpy and names like wmemcpy.
+  static const std::regex kMemfn(R"((^|[^\w.])(memcpy|memmove)\s*\()");
+  // (b) std::vector<std::byte> built from existing bytes: deref copy
+  // "vector<std::byte>(*p)" or iterator-range copy "(x.begin(), ...)".
+  // Size construction "(n)" and default construction stay legal.
+  static const std::regex kVecCopy(
+      R"(vector\s*<\s*(std\s*::\s*)?byte\s*>\s*\w*\s*[({]\s*(\*|[A-Za-z_]\w*\s*(\.|->)\s*c?begin\s*\())");
+  for (std::size_t ln = 0; ln < code.size(); ++ln) {
+    const std::string& line = code[ln];
+    if (std::regex_search(line, kMemfn)) {
+      out->push_back({rel_path, static_cast<int>(ln + 1), "SV008",
+                      "memcpy/memmove outside src/mem/; copy through "
+                      "mem::Payload so the mem ledger records it",
+                      false});
+    }
+    if (std::regex_search(line, kVecCopy)) {
+      out->push_back({rel_path, static_cast<int>(ln + 1), "SV008",
+                      "std::vector<std::byte> copy-constructed from existing "
+                      "bytes outside src/mem/; use Payload::copy_of or a "
+                      "BufferPool lease so the copy is charged",
+                      false});
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() { return kRules; }
@@ -533,6 +580,7 @@ std::vector<Finding> scan_source(const std::string& rel_path,
   check_regex_rules(rel_path, src.code, &findings);
   check_sv005(rel_path, src.code, &findings);
   check_sv007(rel_path, src.code, &findings);
+  check_sv008(rel_path, src.code, &findings);
 
   // Apply suppressions: an allow on the finding's line or the line above.
   for (Finding& f : findings) {
