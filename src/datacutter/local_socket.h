@@ -18,8 +18,8 @@ class LocalSocket final : public sockets::SvSocket {
   void send(net::Message m) override;
   std::optional<net::Message> recv() override;
   std::optional<net::Message> try_recv() override;
-  sv::Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
-  sv::Result<void> send_for(net::Message m, SimTime timeout) override;
+  [[nodiscard]] sv::Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
+  [[nodiscard]] sv::Result<void> send_for(net::Message m, SimTime timeout) override;
   void close_send() override;
 
   [[nodiscard]] net::Transport transport() const override {

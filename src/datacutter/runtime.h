@@ -84,7 +84,7 @@ class Runtime {
   /// `timeout` (<= 0 = wait forever), ErrorCode::kClosed after the
   /// completion stream ends. The clean way to bound an experiment that
   /// might be wedged on a faulty cluster.
-  Result<UowCompletion> wait_completion_for(SimTime timeout);
+  [[nodiscard]] Result<UowCompletion> wait_completion_for(SimTime timeout);
 
   /// Number of buffers each producer copy sent to each consumer copy on
   /// stream `stream_idx` (scheduling diagnostics).

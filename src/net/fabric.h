@@ -75,13 +75,13 @@ class Pipe {
   /// up after `timeout` (<= 0 = wait forever) with ErrorCode::kTimeout.
   /// Frames already admitted stay in flight, so a timed-out pipe must be
   /// treated as failed by the caller.
-  Result<void> send_for(Message m, SimTime timeout);
+  [[nodiscard]] Result<void> send_for(Message m, SimTime timeout);
 
   /// Blocking receive; nullopt after close() once drained.
   std::optional<Message> recv();
   /// Timed receive; ok(nullopt) means closed-and-drained, kTimeout means
   /// nothing was deliverable within `timeout` (<= 0 = wait forever).
-  Result<std::optional<Message>> recv_for(SimTime timeout);
+  [[nodiscard]] Result<std::optional<Message>> recv_for(SimTime timeout);
   /// Non-blocking receive.
   std::optional<Message> try_recv();
   /// Number of fully-delivered messages waiting in the receive queue.

@@ -122,7 +122,7 @@ class Channel {
   /// Timed receive: like recv() but gives up after `timeout` with an
   /// ErrorCode::kTimeout error. ok(nullopt) still means closed-and-drained;
   /// `timeout` <= 0 means wait forever.
-  Result<std::optional<T>> recv_for(SimTime timeout) {
+  [[nodiscard]] Result<std::optional<T>> recv_for(SimTime timeout) {
     if (timeout <= SimTime::zero()) return recv();
     const SimTime deadline = sim_->now() + timeout;
     while (items_.empty() && !closed_) {

@@ -41,10 +41,10 @@ class RdmaPushSocket final : public SvSocket {
   void send(net::Message m) override;
   std::optional<net::Message> recv() override;
   std::optional<net::Message> try_recv() override;
-  Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
+  [[nodiscard]] Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
   /// Timed send with slot-stall detection (the ring analogue of the
   /// SocketVIA credit stall: a stalled receiver stops returning slots).
-  Result<void> send_for(net::Message m, SimTime timeout) override;
+  [[nodiscard]] Result<void> send_for(net::Message m, SimTime timeout) override;
   void close_send() override;
 
   [[nodiscard]] net::Transport transport() const override {

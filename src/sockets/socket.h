@@ -68,14 +68,14 @@ class SvSocket {
   /// (<= 0 means wait forever). For byte-stream transports a timeout may
   /// strand a partially-drained frame, so callers must treat a timeout as
   /// fatal for the stream (the stalled-peer recovery story; see fault.h).
-  virtual Result<std::optional<net::Message>> recv_for(SimTime timeout) = 0;
+  [[nodiscard]] virtual Result<std::optional<net::Message>> recv_for(SimTime timeout) = 0;
 
   /// Timed send: ErrorCode::kTimeout when the transport cannot accept the
   /// message within `timeout` (<= 0 means wait forever) — e.g. SocketVIA
   /// starved of credits by a stalled receiver, or TCP against a closed
   /// window. Part of the message may already be in flight after a timeout;
   /// treat the stream as failed.
-  virtual Result<void> send_for(net::Message m, SimTime timeout) = 0;
+  [[nodiscard]] virtual Result<void> send_for(net::Message m, SimTime timeout) = 0;
 
   /// Half-close: no further sends from this side; peer sees end-of-stream.
   virtual void close_send() = 0;

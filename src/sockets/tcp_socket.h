@@ -28,8 +28,8 @@ class DetailedTcpSocket final : public SvSocket {
   std::optional<net::Message> try_recv() override;
   /// Timed receive. On kTimeout a frame may be partially drained from the
   /// TCP stream; the socket must then be abandoned.
-  Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
-  Result<void> send_for(net::Message m, SimTime timeout) override;
+  [[nodiscard]] Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
+  [[nodiscard]] Result<void> send_for(net::Message m, SimTime timeout) override;
   void close_send() override;
 
   [[nodiscard]] net::Transport transport() const override {

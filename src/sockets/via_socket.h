@@ -49,11 +49,11 @@ class DetailedViaSocket final : public SvSocket {
   std::optional<net::Message> recv() override;
   std::optional<net::Message> try_recv() override;
   /// Timed receive (ok(nullopt) = EOF; kTimeout = nothing delivered).
-  Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
+  [[nodiscard]] Result<std::optional<net::Message>> recv_for(SimTime timeout) override;
   /// Timed send with credit-stall detection: if the receiver stops
   /// returning credits (e.g. its node is stalled) the send gives up after
   /// `timeout` instead of blocking forever on credit_wait.
-  Result<void> send_for(net::Message m, SimTime timeout) override;
+  [[nodiscard]] Result<void> send_for(net::Message m, SimTime timeout) override;
   void close_send() override;
 
   [[nodiscard]] net::Transport transport() const override {

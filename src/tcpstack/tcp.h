@@ -84,7 +84,7 @@ class TcpConnection {
   /// up within `timeout` (a peer that stops ACKing, e.g. a stalled node).
   /// Bytes already buffered stay queued, so treat a timeout as fatal for
   /// the stream. `timeout` <= 0 means wait forever.
-  Result<void> send_for(std::uint64_t bytes, SimTime timeout);
+  [[nodiscard]] Result<void> send_for(std::uint64_t bytes, SimTime timeout);
   Result<void> send_payload_for(mem::Payload payload, SimTime timeout);
 
   /// Blocking receive: returns 1..max bytes, or 0 at end-of-stream.

@@ -1,0 +1,17 @@
+// SV010 fixture: the Result of a timed operation must be consumed or
+// explicitly cast to (void); a silently dropped timeout turns a detected
+// stall back into a hang.
+void discarded_result_fixture(Sock* sock, Runtime& rt, Message m, SimTime t) {
+  sock->send_for(m, t);
+  mine().delivered.recv_for(t);
+  if (ready()) rt.wait_completion_for(t);
+  auto r = sock->send_for(m, t);
+  (void)sock->send_for(m, t);
+  if (!sock->send_for(m, t).ok()) return;
+  // svlint:allow(SV010): suppression case — watchdog owns the stall.
+  sock->send_for(m, t);
+}
+
+Result<std::optional<Message>> forwarded(Sock* sock, SimTime t) {
+  return sock->recv_for(t);
+}

@@ -1,0 +1,13 @@
+// SV009 fixture: net (layer 4) reaching upward into via (5) and sockets
+// (6). Downward and same-module includes are fine; angled includes are
+// system headers and out of scope.
+#include "common/units.h"
+#include "net/fabric.h"
+#include "sockets/socket.h"
+#include "via/via_channel.h"
+#include <vector>
+
+// svlint:allow(SV009): suppression case — a deliberate, justified edge.
+#include "sockets/socket_stats.h"
+
+void layer_violation_fixture() {}

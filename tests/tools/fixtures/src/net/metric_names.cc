@@ -1,0 +1,12 @@
+// SV012 fixture: metric families must be declared in the manifest. The
+// family is the literal up to any '{label=...}' suffix; non-literal name
+// arguments are out of scope (no constant propagation).
+void metric_names_fixture(Registry& reg, Hub* hub, const char* name) {
+  auto* a = reg.counter("net.frames");
+  auto* b = reg.counter("net.frames{link=a->b}");
+  auto* c = hub->metrics().gauge("net.bytes_snet");
+  auto* d = reg.histogram("net.latency_ns");
+  auto* e = reg.counter(name);
+  // svlint:allow(SV012): suppression case.
+  auto* s = reg.counter("net.unlisted");
+}

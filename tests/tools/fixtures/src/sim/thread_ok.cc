@@ -1,0 +1,10 @@
+// SV011 negative fixture: src/sim implements the thread-per-process
+// scheduler, so OS concurrency primitives are sanctioned here.
+#include <thread>
+#include <mutex>
+
+void thread_ok_fixture() {
+  std::thread worker;
+  std::mutex m;
+  std::lock_guard<std::mutex> g(m);
+}

@@ -1,0 +1,13 @@
+// SV009 negative fixture: sockets (layer 6) may include every lower layer,
+// its own module, slash-free local headers, and system headers.
+#include "common/units.h"
+#include "net/fabric.h"
+#include "obs/hub.h"
+#include "sim/engine.h"
+#include "sockets/socket.h"
+#include "tcpstack/tcp.h"
+#include "via/via_channel.h"
+#include "socket_helpers.h"
+#include <vector>
+
+void layering_ok_fixture() {}

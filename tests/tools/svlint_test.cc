@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "include_graph.h"
 
 namespace sv::lint {
 namespace {
@@ -29,10 +33,10 @@ bool has(const std::vector<Finding>& fs, const std::string& rule, int line) {
   });
 }
 
-TEST(SvlintRules, RuleTableListsEightRules) {
-  ASSERT_EQ(rules().size(), 8u);
+TEST(SvlintRules, RuleTableListsTwelveRules) {
+  ASSERT_EQ(rules().size(), 12u);
   EXPECT_STREQ(rules().front().id, "SV001");
-  EXPECT_STREQ(rules().back().id, "SV008");
+  EXPECT_STREQ(rules().back().id, "SV012");
 }
 
 TEST(SvlintRules, Sv001CatchesUnorderedIteration) {
@@ -174,6 +178,186 @@ TEST(SvlintRules, CleanFileHasNoFindings) {
          "membership on unordered containers is fine";
 }
 
+TEST(SvlintRules, Sv009CatchesUpwardLayeringEdges) {
+  const auto fs = scan_fixture("src/net/layer_violation.cc");
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV009", 6)) << "net including sockets (upward)";
+  EXPECT_TRUE(has(live, "SV009", 7)) << "net including via (upward)";
+  EXPECT_EQ(live.size(), 2u)
+      << "downward, same-module, local and angled includes must not trip";
+  // The allowed upward edge is still reported, flagged as suppressed.
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_TRUE(fs.back().suppressed);
+  EXPECT_EQ(fs.back().line, 11);
+}
+
+TEST(SvlintRules, Sv009AllowsEveryDownwardEdgeFromTheTop) {
+  EXPECT_TRUE(scan_fixture("src/sockets/layering_ok.cc").empty());
+  // Files outside src/ carry no layer.
+  EXPECT_TRUE(
+      scan_source("tools/x.cc", "#include \"sockets/socket.h\"\n").empty());
+}
+
+TEST(SvlintRules, Sv009RejectsModulesOutsideTheDeclaredDag) {
+  const auto fs = scan_source("src/newmod/x.cc", "int x = 0;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "SV009");
+  EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(SvlintRules, Sv010CatchesDiscardedTimedOpResults) {
+  const auto fs = scan_fixture("src/net/discarded_result.cc");
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV010", 5)) << "bare send_for statement";
+  EXPECT_TRUE(has(live, "SV010", 6)) << "chained recv_for through mine()";
+  EXPECT_TRUE(has(live, "SV010", 7)) << "wait_completion_for as if-body";
+  EXPECT_EQ(live.size(), 3u)
+      << "assigned, (void)-cast, .ok()-consumed and returned calls must "
+         "not trip";
+  ASSERT_EQ(fs.size(), 4u);
+  EXPECT_TRUE(fs.back().suppressed);
+  EXPECT_EQ(fs.back().line, 12);
+}
+
+TEST(SvlintRules, Sv010MatchesAcrossLineBreaks) {
+  const std::string text =
+      "void f() {\n"
+      "  sock->send_for(\n"
+      "      m,\n"
+      "      t);\n"
+      "}\n";
+  const auto fs = scan_source("src/net/x.cc", text);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "SV010");
+  EXPECT_EQ(fs[0].line, 2) << "reported at the callee identifier";
+}
+
+TEST(SvlintRules, Sv011CatchesRawConcurrencyOutsideSim) {
+  const auto fs = scan_fixture("src/net/thread_use.cc");
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV011", 4)) << "#include <thread>";
+  EXPECT_TRUE(has(live, "SV011", 5)) << "#include <mutex>";
+  EXPECT_TRUE(has(live, "SV011", 9)) << "std::thread";
+  EXPECT_TRUE(has(live, "SV011", 10)) << "std::atomic_int";
+  EXPECT_TRUE(has(live, "SV011", 11)) << "std::lock_guard + std::mutex";
+  EXPECT_EQ(live.size(), 6u)
+      << "std::vector, non-std 'threading::' and <vector> must not trip";
+  ASSERT_EQ(fs.size(), 7u);
+  EXPECT_TRUE(fs.back().suppressed);
+  EXPECT_EQ(fs.back().line, 15);
+}
+
+TEST(SvlintRules, Sv011ExemptsTheSimScheduler) {
+  EXPECT_TRUE(scan_fixture("src/sim/thread_ok.cc").empty())
+      << "src/sim implements the sanctioned scheduler";
+}
+
+TEST(SvlintRules, Sv012ChecksMetricFamiliesAgainstManifest) {
+  const ProjectContext ctx = load_project(SVLINT_FIXTURE_DIR);
+  ASSERT_TRUE(ctx.manifest_loaded);
+  ASSERT_EQ(ctx.metric_manifest.size(), 2u);
+  const auto fs =
+      scan_file(SVLINT_FIXTURE_DIR, "src/net/metric_names.cc", &ctx);
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV012", 7)) << "typo'd family via hub->metrics()";
+  EXPECT_TRUE(has(live, "SV012", 8)) << "undeclared histogram family";
+  EXPECT_EQ(live.size(), 2u)
+      << "declared families, '{label}' suffixes and non-literal names must "
+         "not trip";
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_TRUE(fs.back().suppressed);
+  EXPECT_EQ(fs.back().line, 11);
+}
+
+TEST(SvlintRules, Sv012InertWithoutAManifest) {
+  // scan_fixture passes no project context; the rule must degrade to off
+  // rather than flagging every metric in a tree without a manifest.
+  EXPECT_TRUE(scan_fixture("src/net/metric_names.cc").empty());
+}
+
+TEST(SvlintRules, CollectMetricFamiliesFeedsTheOrphanCheck) {
+  const std::string text =
+      "void f(Registry& reg) {\n"
+      "  reg.counter(\"a.hits{link=x}\");\n"
+      "  reg.gauge(\"b.depth\");\n"
+      "  reg.counter(\"a.hits\");\n"
+      "}\n";
+  const auto families = collect_metric_families(lex(text));
+  EXPECT_EQ(families, (std::set<std::string>{"a.hits", "b.depth"}));
+}
+
+TEST(IncludeGraph, ModuleRanksDeclareTheDag) {
+  EXPECT_EQ(module_of("src/net/fabric.cc"), "net");
+  EXPECT_EQ(module_of("src/common/log.h"), "common");
+  EXPECT_EQ(module_of("tools/svlint/main.cc"), "");
+  const char* order[] = {"common", "obs",     "sim",        "mem",
+                         "net",    "tcpstack", "sockets",    "datacutter",
+                         "vizapp", "harness"};
+  for (std::size_t i = 1; i < std::size(order); ++i) {
+    EXPECT_LT(module_rank(order[i - 1]), module_rank(order[i]))
+        << order[i - 1] << " must rank below " << order[i];
+  }
+  EXPECT_EQ(module_rank("via"), module_rank("tcpstack"))
+      << "the two transports are peers";
+  EXPECT_EQ(module_rank("not_a_module"), -1);
+}
+
+TEST(IncludeGraph, ResolvesIncludesOverASyntheticTree) {
+  IncludeGraph g;
+  g.add_file("src/common/units.h", {});
+  g.add_file("src/net/fabric.h", {{"common/units.h", false, 1}});
+  g.add_file("src/net/fabric.cc", {{"net/fabric.h", false, 1},
+                                   {"vector", true, 2}});
+  g.add_file("src/sockets/socket.h", {{"net/fabric.h", false, 1}});
+  g.add_file("tools/svlint/lexer.h", {});
+  g.add_file("tools/svlint/lexer.cc", {{"lexer.h", false, 1}});
+  g.finalize();
+
+  EXPECT_EQ(g.includes_of("src/net/fabric.cc"),
+            (std::vector<std::string>{"src/net/fabric.h"}))
+      << "src/-relative resolution; angled includes dropped";
+  EXPECT_EQ(g.includes_of("tools/svlint/lexer.cc"),
+            (std::vector<std::string>{"tools/svlint/lexer.h"}))
+      << "includer-directory-relative resolution";
+
+  // A change to the bottom header must re-scan its whole reverse closure.
+  const auto dep = g.dependents_of({"src/common/units.h"});
+  EXPECT_EQ(dep, (std::set<std::string>{
+                     "src/common/units.h", "src/net/fabric.h",
+                     "src/net/fabric.cc", "src/sockets/socket.h"}));
+  // An isolated leaf re-scans only itself.
+  const auto leaf = g.dependents_of({"tools/svlint/lexer.cc"});
+  EXPECT_EQ(leaf, (std::set<std::string>{"tools/svlint/lexer.cc"}));
+
+  // Module projection: self-edges dropped, non-src/ files excluded.
+  const auto edges = g.module_edges();
+  ASSERT_EQ(edges.count("net"), 1u);
+  EXPECT_EQ(edges.at("net"), (std::set<std::string>{"common"}));
+  ASSERT_EQ(edges.count("sockets"), 1u);
+  EXPECT_EQ(edges.at("sockets"), (std::set<std::string>{"net"}));
+}
+
+TEST(SvlintLexer, RawStringsCommentsAndIncludesAreNotCode) {
+  const std::string text =
+      "#include \"net/fabric.h\"\n"
+      "#include <vector>\n"
+      "// std::rand() lives in a comment\n"
+      "const char* p = R\"(std::random_device rd; memcpy(a, b, n);)\";\n"
+      "/* std::thread in\n"
+      "   a block comment */\n"
+      "int x = 0;\n";
+  EXPECT_TRUE(scan_source("src/net/x.cc", text).empty())
+      << "hazard words in comments, strings and raw strings are not code";
+
+  const LexedFile lx = lex(text);
+  ASSERT_EQ(lx.includes.size(), 2u);
+  EXPECT_EQ(lx.includes[0].path, "net/fabric.h");
+  EXPECT_FALSE(lx.includes[0].angled);
+  EXPECT_EQ(lx.includes[0].line, 1);
+  EXPECT_EQ(lx.includes[1].path, "vector");
+  EXPECT_TRUE(lx.includes[1].angled);
+}
+
 TEST(SvlintSuppression, SameLineAndPreviousLineBothWork) {
   const std::string same_line =
       "int f() { return std::rand(); }  // svlint:allow(SV002): why\n";
@@ -201,6 +385,37 @@ TEST(SvlintSuppression, MultiRuleAllowList) {
   ASSERT_EQ(fs.size(), 1u);
   EXPECT_EQ(fs[0].rule, "SV006");
   EXPECT_TRUE(fs[0].suppressed);
+}
+
+TEST(SvlintBaseline, AbsorbConsumesOneSlotPerFinding) {
+  Baseline b =
+      Baseline::load(std::string(SVLINT_FIXTURE_DIR) + "/baseline.txt");
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.absorb("src/a.cc", "SV002"));
+  EXPECT_TRUE(b.absorb("src/a.cc", "SV002"));
+  EXPECT_FALSE(b.absorb("src/a.cc", "SV002"))
+      << "a third finding in the same file must fail the build";
+  EXPECT_TRUE(b.absorb("src/b.cc", "SV007"));
+  EXPECT_FALSE(b.absorb("src/b.cc", "SV002")) << "rule id is part of the key";
+}
+
+TEST(SvlintBaseline, MissingFileIsEmpty) {
+  EXPECT_EQ(Baseline::load("/nonexistent/baseline.txt").size(), 0u);
+}
+
+TEST(SvlintJson, FindingsSerializeSortedWithEscapes) {
+  std::vector<Finding> fs;
+  fs.push_back({"src/b.cc", 2, "SV002", "uses \"rand\"", "x = rand();",
+                false, false});
+  fs.push_back({"src/a.cc", 9, "SV004", "wall clock", "t();", true, false});
+  std::ostringstream os;
+  write_findings_json(os, fs);
+  const std::string js = os.str();
+  EXPECT_LT(js.find("src/a.cc"), js.find("src/b.cc"))
+      << "sorted by file regardless of insertion order";
+  EXPECT_NE(js.find("\\\"rand\\\""), std::string::npos)
+      << "quotes in messages must be escaped";
+  EXPECT_NE(js.find("\"suppressed\": true"), std::string::npos);
 }
 
 TEST(SvlintScan, FindingsAreSortedAndStable) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Guard: the svlint baseline may only ever shrink.
+#
+# Compares tools/svlint/baseline.txt against the version at a base ref
+# (default origin/main) and fails if any entry was added. Grandfathering is
+# for pre-existing findings only; new code fixes its findings or suppresses
+# them inline with a justified svlint:allow comment.
+#
+# usage: baseline_guard.sh [base-ref]
+set -euo pipefail
+
+base_ref="${1:-origin/main}"
+baseline="tools/svlint/baseline.txt"
+
+strip() { grep -vE '^[[:space:]]*(#|$)' | sort; }
+
+if ! old=$(git show "${base_ref}:${baseline}" 2>/dev/null); then
+  echo "baseline_guard: ${baseline} does not exist at ${base_ref}; nothing to guard"
+  exit 0
+fi
+
+added=$(comm -13 <(printf '%s\n' "$old" | strip) <(strip < "$baseline") || true)
+if [ -n "$added" ]; then
+  echo "baseline_guard: FAIL — entries added to ${baseline}:"
+  printf '  %s\n' $added
+  echo "The baseline only shrinks. Fix the finding or add an inline"
+  echo "svlint:allow(...) with a justification instead."
+  exit 1
+fi
+
+old_n=$(printf '%s\n' "$old" | strip | wc -l)
+new_n=$(strip < "$baseline" | wc -l)
+echo "baseline_guard: OK (${old_n} -> ${new_n} entries)"

@@ -1,0 +1,301 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace sv::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Encoding/raw-string prefixes: an identifier immediately followed by '"'
+// that is one of these continues into a string literal.
+bool string_prefix(const std::string& id, bool* raw) {
+  if (id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R") {
+    *raw = true;
+    return true;
+  }
+  if (id == "L" || id == "u" || id == "U" || id == "u8") {
+    *raw = false;
+    return true;
+  }
+  return false;
+}
+
+// Parses "svlint:allow(SV001, SV004)" occurrences inside one comment line.
+void harvest_allows(const std::string& comment, std::set<std::string>* out) {
+  const std::string kMarker = "svlint:allow(";
+  for (std::size_t at = comment.find(kMarker); at != std::string::npos;
+       at = comment.find(kMarker, at + 1)) {
+    std::size_t i = at + kMarker.size();
+    std::string id;
+    for (; i < comment.size() && comment[i] != ')'; ++i) {
+      const char c = comment[i];
+      if (c == ',') {
+        if (!id.empty()) out->insert(id);
+        id.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        id += c;
+      }
+    }
+    if (!id.empty()) out->insert(id);
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  LexedFile run() {
+    split_lines();
+    out_.allows.resize(out_.raw_lines.size());
+    while (i_ < text_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  void split_lines() {
+    std::string cur;
+    for (char c : text_) {
+      if (c == '\n') {
+        out_.raw_lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    out_.raw_lines.push_back(cur);
+  }
+
+  char at(std::size_t i) const { return i < text_.size() ? text_[i] : '\0'; }
+  char cur() const { return at(i_); }
+  char next() const { return at(i_ + 1); }
+
+  void allow_into_line(const std::string& comment, int line) {
+    if (line >= 1 && static_cast<std::size_t>(line) <= out_.allows.size()) {
+      harvest_allows(comment,
+                     &out_.allows[static_cast<std::size_t>(line - 1)]);
+    }
+  }
+
+  void emit(Tok kind, std::string text, int line) {
+    out_.tokens.push_back({kind, std::move(text), line});
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == '\n') {
+      ++line_;
+      ++i_;
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i_;
+      return;
+    }
+    if (c == '/' && next() == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && next() == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '"') {
+      string_literal(false);
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    if (c == '#') {
+      directive();
+      return;
+    }
+    if (ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      number();
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    std::size_t j = i_ + 2;
+    std::string body;
+    while (j < text_.size() && text_[j] != '\n') body += text_[j++];
+    allow_into_line(body, line_);
+    i_ = j;  // leave the '\n' for step()
+  }
+
+  void block_comment() {
+    std::size_t j = i_ + 2;
+    std::string body;
+    while (j < text_.size()) {
+      if (text_[j] == '*' && at(j + 1) == '/') {
+        j += 2;
+        break;
+      }
+      if (text_[j] == '\n') {
+        allow_into_line(body, line_);
+        body.clear();
+        ++line_;
+      } else {
+        body += text_[j];
+      }
+      ++j;
+    }
+    allow_into_line(body, line_);
+    i_ = j;
+  }
+
+  void string_literal(bool raw) {
+    const int start_line = line_;
+    std::string body;
+    if (raw) {
+      // R"delim( ... )delim"
+      std::size_t j = i_ + 1;  // at the char after '"'
+      std::string delim;
+      while (j < text_.size() && text_[j] != '(') delim += text_[j++];
+      ++j;  // past '('
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = text_.find(closer, j);
+      const std::size_t stop = end == std::string::npos ? text_.size() : end;
+      for (std::size_t k = j; k < stop; ++k) {
+        if (text_[k] == '\n') {
+          ++line_;
+        } else {
+          body += text_[k];
+        }
+      }
+      i_ = stop == text_.size() ? stop : stop + closer.size();
+    } else {
+      std::size_t j = i_ + 1;
+      while (j < text_.size() && text_[j] != '"' && text_[j] != '\n') {
+        if (text_[j] == '\\' && j + 1 < text_.size()) {
+          body += text_[j];
+          body += text_[j + 1];
+          j += 2;
+        } else {
+          body += text_[j++];
+        }
+      }
+      i_ = j < text_.size() && text_[j] == '"' ? j + 1 : j;
+    }
+    emit(Tok::kString, std::move(body), start_line);
+  }
+
+  void char_literal() {
+    std::size_t j = i_ + 1;
+    std::string body;
+    while (j < text_.size() && text_[j] != '\'' && text_[j] != '\n') {
+      if (text_[j] == '\\' && j + 1 < text_.size()) {
+        body += text_[j];
+        body += text_[j + 1];
+        j += 2;
+      } else {
+        body += text_[j++];
+      }
+    }
+    emit(Tok::kChar, std::move(body), line_);
+    i_ = j < text_.size() && text_[j] == '\'' ? j + 1 : j;
+  }
+
+  // '#': if this is an #include, record the directive and swallow the path
+  // (so "common/result.h" never looks like a string to the rules); any
+  // other directive just emits '#' and lexes its tokens normally.
+  void directive() {
+    std::size_t j = i_ + 1;
+    while (j < text_.size() && (text_[j] == ' ' || text_[j] == '\t')) ++j;
+    std::string word;
+    while (j < text_.size() && ident_char(text_[j])) word += text_[j++];
+    if (word != "include") {
+      emit(Tok::kPunct, "#", line_);
+      ++i_;
+      return;
+    }
+    while (j < text_.size() && (text_[j] == ' ' || text_[j] == '\t')) ++j;
+    if (j < text_.size() && (text_[j] == '"' || text_[j] == '<')) {
+      const char close = text_[j] == '"' ? '"' : '>';
+      const bool angled = close == '>';
+      std::string path;
+      ++j;
+      while (j < text_.size() && text_[j] != close && text_[j] != '\n') {
+        path += text_[j++];
+      }
+      if (j < text_.size() && text_[j] == close) ++j;
+      out_.includes.push_back({std::move(path), angled, line_});
+    }
+    i_ = j;
+  }
+
+  void identifier() {
+    std::size_t j = i_;
+    std::string id;
+    while (j < text_.size() && ident_char(text_[j])) id += text_[j++];
+    bool raw = false;
+    if (at(j) == '"' && string_prefix(id, &raw)) {
+      i_ = j;  // at the opening quote
+      string_literal(raw);
+      return;
+    }
+    emit(Tok::kIdent, std::move(id), line_);
+    i_ = j;
+  }
+
+  void number() {
+    std::size_t j = i_;
+    std::string num;
+    while (j < text_.size()) {
+      const char c = text_[j];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        num += c;
+        ++j;
+      } else if ((c == '+' || c == '-') && !num.empty() &&
+                 (num.back() == 'e' || num.back() == 'E' ||
+                  num.back() == 'p' || num.back() == 'P')) {
+        num += c;
+        ++j;
+      } else {
+        break;
+      }
+    }
+    emit(Tok::kNumber, std::move(num), line_);
+    i_ = j;
+  }
+
+  void punct() {
+    // Multi-char operators the rules care about are kept as one token;
+    // everything else (including '>' '>') is emitted char-by-char so the
+    // template-argument scanners can count closers individually.
+    static const char* kPairs[] = {"::", "->", "+=", "-="};
+    for (const char* p : kPairs) {
+      if (cur() == p[0] && next() == p[1]) {
+        emit(Tok::kPunct, p, line_);
+        i_ += 2;
+        return;
+      }
+    }
+    emit(Tok::kPunct, std::string(1, cur()), line_);
+    ++i_;
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) { return Lexer(text).run(); }
+
+}  // namespace sv::lint

@@ -1,0 +1,59 @@
+// Token-level front end for svlint.
+//
+// Every rule used to re-derive lexical structure from raw lines with its own
+// regex, which meant comments, string literals and raw strings had to be
+// (imperfectly) re-stripped per rule and nothing could match across a line
+// break. The lexer does that work exactly once: it turns a translation unit
+// into a flat token stream (identifiers, numbers, literals, punctuation)
+// with per-token line numbers, harvests `svlint:allow(...)` suppression
+// comments per line, and records #include directives separately so the
+// include-graph builder and the layering rule (SV009) see resolved paths
+// instead of text.
+//
+// The lexer is deliberately not a full C++ phase-3 implementation: trigraphs,
+// line splices and #define bodies are out of scope for a linter that scans
+// one style-consistent tree. Raw strings (R"(...)"), encoding prefixes,
+// escapes, and nested block comments' line accounting are handled, because
+// svlint scans its own sources and those appear there.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sv::lint {
+
+enum class Tok {
+  kIdent,   // identifier or keyword
+  kNumber,  // numeric literal, suffix included ("0ull")
+  kString,  // string literal; text is the *content*, quotes/prefix removed
+  kChar,    // character literal; text is the content
+  kPunct,   // one operator/punctuator; "::", "->", "+=", "-=" kept whole
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+/// One #include directive. Quoted includes feed the include graph and the
+/// layering rule; angled includes feed SV011 (<thread>, <mutex>, ...).
+struct Include {
+  std::string path;
+  bool angled = false;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<std::string> raw_lines;          // original text, per line
+  std::vector<std::set<std::string>> allows;   // per line: allowed rule ids
+};
+
+/// Lexes one file's contents. Never fails: unterminated constructs are
+/// closed at end-of-file (a linter must degrade, not abort).
+LexedFile lex(const std::string& text);
+
+}  // namespace sv::lint

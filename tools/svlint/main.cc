@@ -1,16 +1,27 @@
-// svlint CLI. Scans C++ sources under a repository root for determinism
-// hazards and exits nonzero if any unsuppressed finding remains.
+// svlint CLI. Scans C++ sources under a repository root with the
+// token-level rule engine and exits nonzero if any finding is neither
+// suppressed (svlint:allow) nor grandfathered (baseline file).
 //
-//   svlint --root <repo> [--verbose] [--list-rules] [paths...]
+//   svlint --root <repo> [--verbose] [--list-rules] [--json FILE]
+//          [--baseline FILE] [--write-baseline FILE] [--since REF]
+//          [--check-manifest] [paths...]
 //
-// Paths are directories or files relative to --root; the default scan set is
-// "src bench". Run from CTest as the `svlint_src` test and from CI.
+// Paths are directories or files relative to --root; the default scan set
+// is "src bench examples tools" (the tool scans itself). --since REF scans
+// only files changed versus the git ref *plus every file that transitively
+// includes a changed header* (the include graph makes incremental runs
+// sound). Run from CTest as `svlint_src`/`svlint_manifest` and from CI.
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "include_graph.h"
 #include "svlint.h"
 
 namespace fs = std::filesystem;
@@ -27,54 +38,126 @@ std::string to_rel(const fs::path& root, const fs::path& p) {
   return fs::relative(p, root).generic_string();
 }
 
-}  // namespace
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
 
-int main(int argc, char** argv) {
+// Repo-relative paths changed versus `ref`, per git. Empty on git failure
+// (the caller then falls back to a full scan).
+std::vector<std::string> changed_since(const fs::path& root,
+                                       const std::string& ref, bool* ok) {
+  const std::string cmd = "git -C '" + root.string() +
+                          "' diff --name-only '" + ref + "' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  *ok = false;
+  if (pipe == nullptr) return {};
+  std::string output;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) output.append(buf, n);
+  *ok = pclose(pipe) == 0;
+  std::vector<std::string> files;
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) files.push_back(line);
+  }
+  return files;
+}
+
+struct Options {
   fs::path root = fs::current_path();
   std::vector<std::string> targets;
   bool verbose = false;
+  std::string json_path;
+  std::string baseline_path = "tools/svlint/baseline.txt";
+  std::string write_baseline_path;
+  std::string since_ref;
+  bool check_manifest = false;
+};
+
+int usage(int code) {
+  (code == 0 ? std::cout : std::cerr)
+      << "usage: svlint [--root DIR] [--verbose] [--list-rules] "
+         "[--json FILE] [--baseline FILE] [--write-baseline FILE] "
+         "[--since REF] [--check-manifest] [paths...]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  const auto need_arg = [&](int& i) -> const char* {
+    if (++i >= argc) {
+      std::cerr << "svlint: " << argv[i - 1] << " needs an argument\n";
+      return nullptr;
+    }
+    return argv[i];
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
-      if (++i >= argc) {
-        std::cerr << "svlint: --root needs an argument\n";
-        return 2;
-      }
-      root = fs::path(argv[i]);
+      const char* v = need_arg(i);
+      if (v == nullptr) return 2;
+      opt.root = fs::path(v);
     } else if (arg == "--verbose") {
-      verbose = true;
+      opt.verbose = true;
+    } else if (arg == "--json") {
+      const char* v = need_arg(i);
+      if (v == nullptr) return 2;
+      opt.json_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = need_arg(i);
+      if (v == nullptr) return 2;
+      opt.baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = need_arg(i);
+      if (v == nullptr) return 2;
+      opt.write_baseline_path = v;
+    } else if (arg == "--since") {
+      const char* v = need_arg(i);
+      if (v == nullptr) return 2;
+      opt.since_ref = v;
+    } else if (arg == "--check-manifest") {
+      opt.check_manifest = true;
     } else if (arg == "--list-rules") {
       for (const auto& r : sv::lint::rules()) {
         std::cout << r.id << "  " << r.summary << "\n";
       }
+      std::cout << "layering DAG: " << sv::lint::layering_description()
+                << "\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: svlint [--root DIR] [--verbose] [--list-rules] "
-                   "[paths...]\n";
-      return 0;
+      return usage(0);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "svlint: unknown option " << arg << "\n";
-      return 2;
+      return usage(2);
     } else {
-      targets.push_back(arg);
+      opt.targets.push_back(arg);
     }
   }
-  if (targets.empty()) targets = {"src", "bench"};
+  if (opt.targets.empty()) {
+    opt.targets = {"src", "bench", "examples", "tools"};
+  }
 
-  // Expand targets to a sorted, de-duplicated file list so output (and any
-  // future baseline diffing) is stable.
+  // Expand targets to a sorted, de-duplicated file list so output (and
+  // baseline diffing) is stable.
   std::vector<std::string> files;
-  for (const std::string& t : targets) {
-    const fs::path p = root / t;
+  for (const std::string& t : opt.targets) {
+    const fs::path p = opt.root / t;
     if (fs::is_directory(p)) {
       for (const auto& entry : fs::recursive_directory_iterator(p)) {
         if (entry.is_regular_file() && has_cxx_extension(entry.path())) {
-          files.push_back(to_rel(root, entry.path()));
+          files.push_back(to_rel(opt.root, entry.path()));
         }
       }
     } else if (fs::is_regular_file(p)) {
-      files.push_back(to_rel(root, p));
+      files.push_back(to_rel(opt.root, p));
     } else {
       std::cerr << "svlint: no such file or directory: " << p.string()
                 << "\n";
@@ -84,25 +167,118 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::size_t unsuppressed = 0;
-  std::size_t suppressed = 0;
+  // Lex every file once: the include graph always covers the full scan set
+  // (an incremental run must see edges through unchanged headers), the
+  // rules then run on the selected subset.
+  std::map<std::string, sv::lint::LexedFile> lexed;
+  sv::lint::IncludeGraph graph;
   for (const std::string& rel : files) {
-    for (const auto& f : sv::lint::scan_file(root, rel)) {
-      if (f.suppressed) {
-        ++suppressed;
-        if (verbose) {
-          std::cout << f.rel_path << ":" << f.line << ": " << f.rule
-                    << " (suppressed): " << f.message << "\n";
-        }
-        continue;
+    lexed[rel] = sv::lint::lex(read_file(opt.root / rel));
+    graph.add_file(rel, lexed[rel].includes);
+  }
+  graph.finalize();
+
+  std::set<std::string> selected(files.begin(), files.end());
+  if (!opt.since_ref.empty()) {
+    bool git_ok = false;
+    const std::vector<std::string> changed =
+        changed_since(opt.root, opt.since_ref, &git_ok);
+    if (!git_ok) {
+      std::cerr << "svlint: git diff against '" << opt.since_ref
+                << "' failed; scanning everything\n";
+    } else {
+      std::set<std::string> seeds;
+      for (const std::string& f : changed) {
+        if (selected.count(f) != 0) seeds.insert(f);
       }
-      ++unsuppressed;
-      std::cout << f.rel_path << ":" << f.line << ": " << f.rule << ": "
-                << f.message << "\n";
+      selected = graph.dependents_of(seeds);
     }
   }
 
-  std::cout << "svlint: " << files.size() << " files, " << unsuppressed
-            << " finding(s), " << suppressed << " suppressed\n";
-  return unsuppressed == 0 ? 0 : 1;
+  const sv::lint::ProjectContext ctx = sv::lint::load_project(opt.root);
+  sv::lint::Baseline baseline =
+      sv::lint::Baseline::load(opt.root / opt.baseline_path);
+
+  std::vector<sv::lint::Finding> all;
+  std::size_t failing = 0, baselined = 0, suppressed = 0;
+  for (const std::string& rel : files) {
+    if (selected.count(rel) == 0) continue;
+    for (auto& f : sv::lint::scan_lexed(rel, lexed[rel], &ctx)) {
+      if (!f.suppressed && baseline.absorb(f.rel_path, f.rule)) {
+        f.baselined = true;
+      }
+      all.push_back(std::move(f));
+    }
+  }
+
+  // The manifest must also be free of orphans: every declared family has to
+  // be created somewhere in the scan set, or the declaration is dead and
+  // dashboards silently chart nothing.
+  if (opt.check_manifest) {
+    if (!ctx.manifest_loaded) {
+      std::cerr << "svlint: --check-manifest but src/obs/metrics_manifest"
+                   ".txt is missing\n";
+      return 2;
+    }
+    std::set<std::string> created;
+    for (const auto& [rel, lx] : lexed) {
+      const auto fams = sv::lint::collect_metric_families(lx);
+      created.insert(fams.begin(), fams.end());
+    }
+    for (const auto& [family, line] : ctx.metric_manifest) {
+      if (created.count(family) == 0) {
+        all.push_back({"src/obs/metrics_manifest.txt", line, "SV012",
+                       "orphaned manifest entry '" + family +
+                           "': no .counter/.gauge/.histogram call in the "
+                           "scan set creates it; delete the entry or wire "
+                           "the metric up",
+                       family, false, false});
+      }
+    }
+  }
+
+  for (const auto& f : all) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (opt.verbose) {
+        std::cout << f.rel_path << ":" << f.line << ": " << f.rule
+                  << " (suppressed): " << f.message << "\n";
+      }
+      continue;
+    }
+    if (f.baselined) {
+      ++baselined;
+      if (opt.verbose) {
+        std::cout << f.rel_path << ":" << f.line << ": " << f.rule
+                  << " (baselined): " << f.message << "\n";
+      }
+      continue;
+    }
+    ++failing;
+    std::cout << f.rel_path << ":" << f.line << ": " << f.rule << ": "
+              << f.message << "\n";
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream js(opt.json_path);
+    if (!js) {
+      std::cerr << "svlint: cannot write " << opt.json_path << "\n";
+      return 2;
+    }
+    sv::lint::write_findings_json(js, all);
+  }
+  if (!opt.write_baseline_path.empty()) {
+    std::ofstream bs(opt.write_baseline_path);
+    if (!bs) {
+      std::cerr << "svlint: cannot write " << opt.write_baseline_path
+                << "\n";
+      return 2;
+    }
+    sv::lint::Baseline::write(bs, all);
+  }
+
+  std::cout << "svlint: " << selected.size() << "/" << files.size()
+            << " files scanned, " << failing << " finding(s), " << baselined
+            << " baselined, " << suppressed << " suppressed\n";
+  return failing == 0 ? 0 : 1;
 }

@@ -1,26 +1,37 @@
-// svlint: a determinism-hazard checker for the socketvia source tree.
+// svlint: a static-analysis engine for the socketvia source tree.
 //
 // The simulator's contract (DESIGN.md §8) is that every seeded experiment is
-// bit-identical across runs and platforms. That contract is easy to break
-// silently: iterating an unordered container in an ordered-output context,
-// reading a wall clock inside simulation code, or accumulating simulated
-// time through floating point all produce runs that *look* fine but are no
-// longer reproducible. svlint scans the source tree for those hazard
-// patterns before they reach CI.
+// bit-identical across runs and platforms, that payload bytes only move
+// through audited copies (§10), and that every statistic lives in the obs
+// registry (§9). Those contracts are easy to break silently during a
+// refactor; svlint mechanically enforces them before a change reaches
+// ctest.
 //
-// svlint is a lexical checker, not a compiler plugin: it strips comments and
-// string literals, then applies per-rule pattern matching. That keeps it
-// dependency-free and fast, at the cost of needing a suppression escape
-// hatch for false positives:
+// v2 is token-level rather than line-regex: one lexer (lexer.h) strips
+// comments/strings/raw strings exactly once, rules consume token streams
+// (so multi-line constructs match), and an include-graph builder
+// (include_graph.h) gives rules the architecture view — the declared
+// layering DAG (SV009) and the reverse dependency closure behind --since.
+// It is still not a compiler plugin: no preprocessing, no name lookup.
+// False positives have a suppression escape hatch:
 //
 //   do_hazardous_thing();  // svlint:allow(SV002): justification here
 //
-// (on the offending line or the line directly above it).
+// (on the offending line or the line directly above it). Pre-existing
+// findings can instead be grandfathered in a committed baseline file
+// (tools/svlint/baseline.txt, one "path rule" pair per finding) that CI
+// only ever lets shrink.
 #pragma once
 
 #include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "lexer.h"
 
 namespace sv::lint {
 
@@ -29,7 +40,9 @@ struct Finding {
   int line = 0;          // 1-based
   std::string rule;      // e.g. "SV001"
   std::string message;
-  bool suppressed = false;
+  std::string snippet;       // the offending source line, trimmed
+  bool suppressed = false;   // an svlint:allow(...) covers it
+  bool baselined = false;    // grandfathered by the baseline file
 };
 
 struct RuleInfo {
@@ -40,15 +53,68 @@ struct RuleInfo {
 /// The rule table, in id order.
 const std::vector<RuleInfo>& rules();
 
+/// Cross-file state the per-file rules can consult. Only SV012 (metric
+/// manifest) needs it today; rules degrade gracefully without one.
+struct ProjectContext {
+  bool manifest_loaded = false;
+  /// Declared metric family -> 1-based line in the manifest file.
+  std::map<std::string, int> metric_manifest;
+};
+
+/// Loads src/obs/metrics_manifest.txt under `root` (missing file leaves
+/// manifest_loaded false, disabling SV012).
+ProjectContext load_project(const std::filesystem::path& root);
+
 /// Scans one file's contents. `rel_path` must be the '/'-separated path
-/// relative to the repository root; several rules are path-scoped (SV001
-/// only fires in ordered-output directories, SV004 has an allowlist).
+/// relative to the repository root; most rules are path-scoped (SV001 only
+/// fires in ordered-output directories, SV009 only under src/, ...).
 std::vector<Finding> scan_source(const std::string& rel_path,
-                                 const std::string& text);
+                                 const std::string& text,
+                                 const ProjectContext* ctx = nullptr);
+
+/// Same, over an already-lexed file (the CLI lexes each file once for both
+/// the include graph and the rules).
+std::vector<Finding> scan_lexed(const std::string& rel_path,
+                                const LexedFile& lx,
+                                const ProjectContext* ctx = nullptr);
 
 /// Reads `root / rel_path` and scans it. Throws std::runtime_error if the
 /// file cannot be read.
 std::vector<Finding> scan_file(const std::filesystem::path& root,
-                               const std::string& rel_path);
+                               const std::string& rel_path,
+                               const ProjectContext* ctx = nullptr);
+
+/// Metric families (name up to any '{') created in this file via
+/// .counter("...")/.gauge("...")/.histogram("...") — the forward half of
+/// the manifest check; the orphan half compares the union against the
+/// manifest.
+std::set<std::string> collect_metric_families(const LexedFile& lx);
+
+/// Grandfathered findings: a multiset of (rel_path, rule) pairs loaded from
+/// the committed baseline file. CI enforces that the file only shrinks.
+class Baseline {
+ public:
+  /// Missing file -> empty baseline. Lines are "<rel_path> <rule>";
+  /// '#'-comments and blanks ignored.
+  static Baseline load(const std::filesystem::path& path);
+
+  /// True if (rel_path, rule) is still grandfathered; consumes one slot so
+  /// a file with one baselined SV007 still fails on the second.
+  bool absorb(const std::string& rel_path, const std::string& rule);
+
+  /// Serialises `findings` (unsuppressed only) as baseline lines.
+  static void write(std::ostream& os, const std::vector<Finding>& findings);
+
+  [[nodiscard]] std::size_t size() const { return total_; }
+
+ private:
+  std::map<std::pair<std::string, std::string>, int> entries_;
+  std::size_t total_ = 0;
+};
+
+/// Machine-readable findings: a JSON array of {file, line, rule, message,
+/// snippet, suppressed, baselined}, sorted by (file, line, rule).
+void write_findings_json(std::ostream& os,
+                         const std::vector<Finding>& findings);
 
 }  // namespace sv::lint
