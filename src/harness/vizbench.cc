@@ -29,7 +29,7 @@ PacedResult run_paced_updates(const VizWorkloadConfig& cfg, double target_ups,
   PacedResult result;
   result.target_ups = target_ups;
 
-  sim::Simulation s;
+  sim::Simulation s(cfg.queue_kind);
   net::Cluster cluster(&s, cfg.cluster_nodes);
   install_faults(cluster, cfg);
   begin_obs(s, cfg.obs);
@@ -107,7 +107,7 @@ SaturationResult run_saturation(const VizWorkloadConfig& cfg, int updates,
   idle_cfg.obs = ObsArtifacts{};
   result.uncontended_partial_latency = measure_idle_partial_latency(idle_cfg);
 
-  sim::Simulation s;
+  sim::Simulation s(cfg.queue_kind);
   net::Cluster cluster(&s, cfg.cluster_nodes);
   install_faults(cluster, cfg);
   begin_obs(s, cfg.obs);
@@ -150,7 +150,7 @@ SaturationResult run_saturation(const VizWorkloadConfig& cfg, int updates,
 Samples run_query_mix(const VizWorkloadConfig& cfg, double complete_fraction,
                       int queries) {
   Samples responses;
-  sim::Simulation s;
+  sim::Simulation s(cfg.queue_kind);
   net::Cluster cluster(&s, cfg.cluster_nodes);
   install_faults(cluster, cfg);
   begin_obs(s, cfg.obs);
@@ -180,7 +180,7 @@ Samples run_query_mix(const VizWorkloadConfig& cfg, double complete_fraction,
 }
 
 SimTime measure_idle_partial_latency(const VizWorkloadConfig& cfg) {
-  sim::Simulation s;
+  sim::Simulation s(cfg.queue_kind);
   net::Cluster cluster(&s, cfg.cluster_nodes);
   install_faults(cluster, cfg);
   begin_obs(s, cfg.obs);

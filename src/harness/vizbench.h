@@ -21,6 +21,7 @@
 #include "harness/obsout.h"
 #include "net/calibration.h"
 #include "net/fault.h"
+#include "sim/event_queue.h"
 #include "vizapp/query.h"
 
 namespace sv::harness {
@@ -41,6 +42,11 @@ struct VizWorkloadConfig {
   /// Trace / metrics artifact destinations for this run (tracing is
   /// passive, so setting these cannot change the measured results).
   ObsArtifacts obs;
+  /// Event-queue implementation for the run's Simulation (DESIGN.md §12).
+  /// Both kinds are digest-identical (tests/integration/digest_pins_test.cc
+  /// proves it per release); the knob exists for that proof and for
+  /// differential benchmarking.
+  sim::QueueKind queue_kind = sim::QueueKind::kTimingWheel;
 };
 
 /// Figure 7 point: run complete updates at `target_ups` while probing with

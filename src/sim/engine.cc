@@ -31,16 +31,16 @@ constexpr std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
 
 }  // namespace
 
-Engine::Engine()
+Engine::Engine(QueueKind queue_kind)
     : fired_(&obs_.registry.counter("sim.events_fired")),
-      cancelled_count_(&obs_.registry.counter("sim.events_cancelled")) {}
+      cancelled_count_(&obs_.registry.counter("sim.events_cancelled")),
+      queue_(make_event_queue(queue_kind, &obs_.registry)) {}
 
 std::uint64_t Engine::schedule_at(SimTime t, Handler fn) {
   SV_ASSERT(t >= now_, "Engine::schedule_at: time in the past (t=" +
                            t.to_string() + " now=" + now_.to_string() + ")");
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
-  pending_ids_.insert(id);
+  queue_->push(t, next_seq_++, id, std::move(fn));
   ++live_events_;
   return id;
 }
@@ -50,42 +50,33 @@ std::uint64_t Engine::schedule(SimTime delay, Handler fn) {
 }
 
 bool Engine::cancel(std::uint64_t id) {
-  // Exact membership test: ids that already fired (or were never issued)
-  // are rejected without touching any bookkeeping.
-  if (pending_ids_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  if (!queue_->cancel(id)) return false;
   SV_DCHECK(live_events_ > 0, "cancel with no live events");
   --live_events_;
   cancelled_count_->inc();
   return true;
 }
 
-void Engine::note_fired(const Event& ev) {
-  SV_DCHECK(ev.time >= now_, "event queue returned a past event");
-  now_ = ev.time;
-  pending_ids_.erase(ev.id);
+void Engine::note_fired(SimTime t, std::uint64_t id) {
+  SV_DCHECK(t >= now_, "event queue returned a past event");
+  now_ = t;
   --live_events_;
   fired_->inc();
-  digest_ = fnv1a_mix(digest_, static_cast<std::uint64_t>(ev.time.ns()));
-  digest_ = fnv1a_mix(digest_, ev.id);
+  digest_ = fnv1a_mix(digest_, static_cast<std::uint64_t>(t.ns()));
+  digest_ = fnv1a_mix(digest_, id);
 }
 
 bool Engine::step() {
   SV_ASSERT(!in_handler_,
             "re-entrant Engine::step/run from inside an event handler");
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    // Purge tombstones on pop so cancelled_ never outlives its event.
-    if (cancelled_.erase(ev.id) != 0) continue;
-    note_fired(ev);
-    {
-      HandlerScope scope(&in_handler_);
-      ev.fn();
-    }
-    return true;
+  FiredEvent ev;
+  if (!queue_->pop(SimTime::max(), &ev)) return false;
+  note_fired(ev.time, ev.id);
+  {
+    HandlerScope scope(&in_handler_);
+    ev.fn();
   }
-  return false;
+  return true;
 }
 
 void Engine::run() {
@@ -96,19 +87,9 @@ void Engine::run() {
 void Engine::run_until(SimTime t) {
   SV_ASSERT(!in_handler_,
             "re-entrant Engine::run_until from inside an event handler");
-  while (!queue_.empty()) {
-    // Peek: stop at the boundary first, then skip tombstones without
-    // advancing the clock. Tombstones beyond t stay queued until the clock
-    // actually reaches them (lazy purge keeps run_until O(events <= t)).
-    const Event& top = queue_.top();
-    if (top.time > t) break;
-    if (cancelled_.erase(top.id) != 0) {
-      queue_.pop();
-      continue;
-    }
-    Event ev = queue_.top();
-    queue_.pop();
-    note_fired(ev);
+  FiredEvent ev;
+  while (queue_->pop(t, &ev)) {
+    note_fired(ev.time, ev.id);
     {
       HandlerScope scope(&in_handler_);
       ev.fn();

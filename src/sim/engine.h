@@ -5,24 +5,31 @@
 // every run of a seeded experiment bit-identical. The engine folds every
 // fired event into an FNV-1a trace digest so replay tests can prove two
 // runs executed the identical event sequence (see trace_digest()).
+//
+// The ordering itself lives behind the EventQueue interface (DESIGN.md
+// §12): the default is a hierarchical timing wheel with arena-allocated
+// events (zero steady-state heap traffic); QueueKind::kReferenceHeap
+// selects the original binary-heap oracle, which differential tests hold
+// the wheel against (tests/sim/event_queue_diff_test.cc).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
+#include <memory>
 
 #include "common/units.h"
 #include "obs/hub.h"
+#include "sim/event_queue.h"
 
 namespace sv::sim {
 
 class Engine {
  public:
-  using Handler = std::function<void()>;
+  /// Small-buffer-optimized move-only callable: engine handlers construct
+  /// in place inside the event record, so scheduling a small lambda does
+  /// not touch the heap (event_arena.h).
+  using Handler = InlineHandler;
 
-  Engine();
+  explicit Engine(QueueKind queue_kind = QueueKind::kTimingWheel);
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -60,32 +67,23 @@ class Engine {
 
   /// FNV-1a hash over the (time, id) pairs of every fired event, in firing
   /// order. Two runs of the same seeded experiment must produce identical
-  /// digests; see tests/integration/determinism_replay_test.cc.
+  /// digests; see tests/integration/determinism_replay_test.cc and the
+  /// cross-queue pins in tests/integration/digest_pins.txt.
   [[nodiscard]] std::uint64_t trace_digest() const { return digest_; }
 
   // ---- White-box introspection (tests only) ----
   /// Number of tombstoned (cancelled but not yet popped) events. Bounded by
-  /// pending(); must drain to zero as the queue empties.
+  /// pending() + fired backlog; must drain to zero as the queue empties.
+  /// Identical on both queue implementations (both purge lazily).
   [[nodiscard]] std::size_t tombstone_count() const {
-    return cancelled_.size();
+    return queue_->tombstone_count();
   }
+  /// The active queue implementation ("timing_wheel" / "reference_heap").
+  [[nodiscard]] const char* queue_name() const { return queue_->name(); }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    std::uint64_t id;
-    Handler fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  /// Marks `ev` fired: updates bookkeeping, clock and trace digest.
-  void note_fired(const Event& ev);
+  /// Marks a fired event: updates bookkeeping, clock and trace digest.
+  void note_fired(SimTime t, std::uint64_t id);
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
@@ -98,17 +96,7 @@ class Engine {
   obs::Counter* fired_ = nullptr;
   obs::Counter* cancelled_count_ = nullptr;
   std::uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Ids of events currently in the queue and not cancelled. Membership makes
-  // cancel() exact: cancelling a fired or unknown id is a detected no-op, so
-  // neither cancelled_ nor the live-event count can drift (the seed version
-  // leaked a tombstone per cancel-after-fire). Never iterated (svlint SV001);
-  // membership tests only.
-  std::unordered_set<std::uint64_t> pending_ids_;
-  // Cancelled ids are tombstoned and skipped on pop; every tombstone
-  // corresponds to an event still in queue_, so the set cannot grow beyond
-  // the queue and is fully purged as the queue drains.
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::unique_ptr<EventQueue> queue_;
 };
 
 }  // namespace sv::sim

@@ -8,7 +8,7 @@
 
 namespace sv::sim {
 
-Simulation::Simulation() = default;
+Simulation::Simulation(QueueKind queue_kind) : engine_(queue_kind) {}
 
 Simulation::~Simulation() {
   shutting_down_ = true;

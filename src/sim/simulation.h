@@ -25,7 +25,10 @@ namespace sv::sim {
 
 class Simulation {
  public:
-  Simulation();
+  /// `queue_kind` selects the engine's event-queue implementation
+  /// (DESIGN.md §12); the default timing wheel is bit-identical to the
+  /// reference heap, so this only matters for differential tests/benches.
+  explicit Simulation(QueueKind queue_kind = QueueKind::kTimingWheel);
   /// Destroys the simulation; any still-blocked processes are unwound via
   /// ProcessKilled so their threads join cleanly.
   ~Simulation();

@@ -77,7 +77,7 @@ LoadBalanceResult run_load_balance(const LoadBalanceConfig& cfg) {
   LoadBalanceResult result;
   result.blocks_per_worker.assign(static_cast<std::size_t>(cfg.workers), 0);
 
-  sim::Simulation s;
+  sim::Simulation s(cfg.queue_kind);
   net::Cluster cluster(&s, cfg.workers + 1);
   obs::begin_artifacts(s.obs(), cfg.obs);
   sockets::SocketFactory factory(&s, &cluster);
@@ -112,6 +112,8 @@ LoadBalanceResult run_load_balance(const LoadBalanceConfig& cfg) {
   s.run();
   obs::export_artifacts(s.obs(), cfg.obs);
   result.exec_time = s.now();
+  result.events_fired = s.events_fired();
+  result.trace_digest = s.engine().trace_digest();
   return result;
 }
 

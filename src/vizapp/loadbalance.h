@@ -13,6 +13,7 @@
 #include "datacutter/group.h"
 #include "net/calibration.h"
 #include "obs/artifacts.h"
+#include "sim/event_queue.h"
 
 namespace sv::viz {
 
@@ -36,6 +37,9 @@ struct LoadBalanceConfig {
   /// Trace / metrics destinations for this run (passive; cannot change the
   /// measured results).
   obs::Artifacts obs;
+  /// Event-queue implementation for the run's Simulation; digest-identical
+  /// across kinds (see tests/integration/digest_pins_test.cc).
+  sim::QueueKind queue_kind = sim::QueueKind::kTimingWheel;
 };
 
 struct LoadBalanceResult {
@@ -49,6 +53,11 @@ struct LoadBalanceResult {
   Samples fast_service_times;
   /// Blocks each worker processed.
   std::vector<std::uint64_t> blocks_per_worker;
+  /// Determinism evidence: events executed and the engine's FNV-1a event
+  /// trace digest (same contract as harness::PacedResult; pinned by
+  /// tests/integration/digest_pins_test.cc).
+  std::uint64_t events_fired = 0;
+  std::uint64_t trace_digest = 0;
 };
 
 /// Runs the experiment in its own simulation and returns the measurements.

@@ -1,0 +1,218 @@
+// Golden event-trace digest pins (DESIGN.md §8, §12).
+//
+// Each pinned workload is a scaled-down seeded run of a paper experiment
+// (fig04 ping-pong, fig08 paced updates, fig10 load balancing). Its
+// (events_fired, trace_digest) pair was captured on the original
+// std::priority_queue engine *before* the timing-wheel queue swap and
+// committed to tests/integration/digest_pins.txt. The test recomputes every
+// workload on the current engine — on *both* queue implementations — and
+// asserts bit-identical digests, so the determinism contract survives queue
+// and allocator optimizations mechanically, not by review.
+//
+// Regenerate (only for deliberate, understood schedule changes):
+//   ./build/tests/digest_pins_test --update-pins
+//
+// This binary has its own main() (it cannot link gtest_main) so it can
+// strip the --update-pins flag before GoogleTest parses the rest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/vizbench.h"
+#include "net/cluster.h"
+#include "sim/simulation.h"
+#include "sockets/factory.h"
+#include "vizapp/loadbalance.h"
+
+#ifndef SV_DIGEST_PIN_FILE
+#error "SV_DIGEST_PIN_FILE must point at tests/integration/digest_pins.txt"
+#endif
+
+namespace sv::harness {
+namespace {
+
+using namespace sv::literals;
+
+bool g_update_pins = false;
+
+/// One recomputed workload outcome.
+struct PinnedRun {
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+};
+
+/// The pin file: `name events digest` per line, '#' comments, sorted by
+/// name so regeneration diffs cleanly.
+std::map<std::string, PinnedRun> read_pins() {
+  std::map<std::string, PinnedRun> pins;
+  std::ifstream in(SV_DIGEST_PIN_FILE);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string name;
+    PinnedRun run;
+    ls >> name >> run.events >> run.digest;
+    pins[name] = run;
+  }
+  return pins;
+}
+
+void write_pins(const std::map<std::string, PinnedRun>& pins) {
+  std::ofstream out(SV_DIGEST_PIN_FILE);
+  out << "# Golden (events_fired, trace_digest) pins per seeded workload.\n"
+      << "# Captured on the pre-timing-wheel heap engine; see\n"
+      << "# digest_pins_test.cc for the regeneration policy.\n";
+  for (const auto& [name, run] : pins) {
+    out << name << ' ' << run.events << ' ' << run.digest << '\n';
+  }
+}
+
+/// Checks one recomputed run against its pin (or records it in update
+/// mode). `variant` distinguishes queue implementations; both must match
+/// the single pinned value.
+void expect_pin(const std::string& name, const std::string& variant,
+                const PinnedRun& got) {
+  static std::map<std::string, PinnedRun> pins = read_pins();
+  if (g_update_pins) {
+    auto it = pins.find(name);
+    if (it == pins.end()) {
+      pins[name] = got;
+      write_pins(pins);
+    } else {
+      ASSERT_EQ(it->second.events, got.events)
+          << name << " (" << variant << ") diverges within one update run";
+      ASSERT_EQ(it->second.digest, got.digest)
+          << name << " (" << variant << ") diverges within one update run";
+    }
+    return;
+  }
+  auto it = pins.find(name);
+  ASSERT_NE(it, pins.end())
+      << "no pin for " << name
+      << " — run digest_pins_test --update-pins and review the diff";
+  EXPECT_EQ(it->second.events, got.events)
+      << name << " [" << variant << "]: event count drifted from the pin";
+  EXPECT_EQ(it->second.digest, got.digest)
+      << name << " [" << variant
+      << "]: trace digest drifted from the pin — the engine no longer "
+         "executes the pinned event sequence";
+}
+
+/// Fig 4-style seeded ping-pong on the detailed protocol machinery.
+PinnedRun fig04_pingpong(sim::QueueKind kind, net::Transport tr) {
+  sim::Simulation s(kind);
+  net::Cluster cluster(&s, 2);
+  sockets::SocketFactory factory(&s, &cluster, sockets::Fidelity::kDetailed);
+  s.spawn("app", [&] {
+    auto [a, b] = factory.connect(0, 1, tr);
+    s.spawn("pong", [&, b = std::move(b)]() mutable {
+      while (auto m = b->recv()) b->send(*m);
+    });
+    for (int i = 0; i < 20; ++i) {
+      a->send(net::Message{.bytes = 4096});
+      a->recv();
+    }
+    a->close_send();
+  });
+  s.run();
+  return {s.events_fired(), s.engine().trace_digest()};
+}
+
+/// Fig 8-style paced complete updates with partial-update probes.
+PinnedRun fig08_paced(sim::QueueKind kind, net::Transport tr) {
+  VizWorkloadConfig cfg;
+  cfg.transport = tr;
+  cfg.image_bytes = 2_MiB;
+  cfg.block_bytes = 128_KiB;
+  cfg.cluster_nodes = 16;
+  cfg.seed = 42;
+  cfg.queue_kind = kind;
+  const auto r = run_paced_updates(cfg, 4.0, 4, 1);
+  return {r.events_fired, r.trace_digest};
+}
+
+/// Fig 10-style round-robin load balancing with a statically slow worker.
+PinnedRun fig10_balance(sim::QueueKind kind, net::Transport tr,
+                        std::uint64_t block_bytes) {
+  viz::LoadBalanceConfig cfg;
+  cfg.transport = tr;
+  cfg.total_bytes = 1_MiB;
+  cfg.block_bytes = block_bytes;
+  cfg.policy = dc::SchedPolicy::kRoundRobin;
+  cfg.slow_worker = 1;
+  cfg.slow_factor = 4;
+  cfg.compute = PerByteCost::nanos_per_byte(18);
+  cfg.seed = 7;
+  cfg.queue_kind = kind;
+  const auto r = viz::run_load_balance(cfg);
+  return {r.events_fired, r.trace_digest};
+}
+
+/// Runs `make_run` on every queue implementation and checks each against
+/// the same pin.
+template <typename F>
+void check_all_queues(const std::string& name, F make_run) {
+  expect_pin(name, "timing_wheel", make_run(sim::QueueKind::kTimingWheel));
+  expect_pin(name, "reference_heap",
+             make_run(sim::QueueKind::kReferenceHeap));
+}
+
+TEST(DigestPins, Fig04PingPongTcp) {
+  check_all_queues("fig04_pingpong_tcp", [](sim::QueueKind k) {
+    return fig04_pingpong(k, net::Transport::kKernelTcp);
+  });
+}
+
+TEST(DigestPins, Fig04PingPongSocketVia) {
+  check_all_queues("fig04_pingpong_svia", [](sim::QueueKind k) {
+    return fig04_pingpong(k, net::Transport::kSocketVia);
+  });
+}
+
+TEST(DigestPins, Fig08PacedUpdatesTcp) {
+  check_all_queues("fig08_paced_tcp", [](sim::QueueKind k) {
+    return fig08_paced(k, net::Transport::kKernelTcp);
+  });
+}
+
+TEST(DigestPins, Fig08PacedUpdatesSocketVia) {
+  check_all_queues("fig08_paced_svia", [](sim::QueueKind k) {
+    return fig08_paced(k, net::Transport::kSocketVia);
+  });
+}
+
+TEST(DigestPins, Fig10BalanceTcp) {
+  check_all_queues("fig10_balance_tcp", [](sim::QueueKind k) {
+    return fig10_balance(k, net::Transport::kKernelTcp, 16 * 1024);
+  });
+}
+
+TEST(DigestPins, Fig10BalanceSocketVia) {
+  check_all_queues("fig10_balance_svia", [](sim::QueueKind k) {
+    return fig10_balance(k, net::Transport::kSocketVia, 2 * 1024);
+  });
+}
+
+}  // namespace
+}  // namespace sv::harness
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-pins") {
+      sv::harness::g_update_pins = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  ::testing::InitGoogleTest(&filtered_argc, args.data());
+  return RUN_ALL_TESTS();
+}

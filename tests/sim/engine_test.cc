@@ -114,5 +114,51 @@ TEST(EngineTest, EventsFiredCounter) {
   EXPECT_EQ(e.events_fired(), 7u);
 }
 
+TEST(EngineTest, CancelHeavyChurnLeavesNoResidue) {
+  // RTO-like churn on both queue implementations: every "transfer" arms a
+  // retransmit timer at a far horizon, completes shortly after, and cancels
+  // the timer — so almost every scheduled event dies young, the dominant
+  // pattern in the TCP stack. Counters, pending() and tombstones must all
+  // reconcile exactly once the run drains.
+  for (const QueueKind kind :
+       {QueueKind::kTimingWheel, QueueKind::kReferenceHeap}) {
+    Engine e(kind);
+    const obs::Counter& cancelled =
+        e.obs().registry.counter("sim.events_cancelled");
+    constexpr int kRounds = 5000;
+    int completions = 0;
+    int rto_fires = 0;
+    std::uint64_t cancels_accepted = 0;
+    std::uint64_t pending_timer = 0;
+    for (int i = 0; i < kRounds; ++i) {
+      if (pending_timer != 0) {
+        // Completion cancels the previous round's timer (always still
+        // pending: it sits 200 ms out and the clock advances in µs steps).
+        if (e.cancel(pending_timer)) ++cancels_accepted;
+      }
+      pending_timer = e.schedule(200_ms, [&] { ++rto_fires; });
+      e.schedule(1_us, [&] { ++completions; });
+      e.run_until(e.now() + 2_us);
+      // Exactly one live event (the timer) remains; cancelled events beyond
+      // the run_until horizon stay physically queued as tombstones.
+      EXPECT_EQ(e.pending(), 1u);
+    }
+    EXPECT_EQ(cancels_accepted, static_cast<std::uint64_t>(kRounds - 1));
+    EXPECT_EQ(cancelled.value(), cancels_accepted);
+    // Cancelling an already-fired event must be rejected exactly.
+    EXPECT_FALSE(e.cancel(pending_timer - 1));
+    e.run();  // the last timer survives to fire
+    EXPECT_EQ(completions, kRounds);
+    EXPECT_EQ(rto_fires, 1);
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.pending(), 0u);
+    EXPECT_EQ(e.tombstone_count(), 0u)
+        << "tombstones must fully purge as the queue drains ("
+        << e.queue_name() << ")";
+    EXPECT_EQ(e.events_fired(),
+              static_cast<std::uint64_t>(completions + rto_fires));
+  }
+}
+
 }  // namespace
 }  // namespace sv::sim

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_sim_engine.json run against the committed baseline.
+
+CI's bench-smoke job runs `sim_engine --quick` and feeds the result here.
+The gate fails when any mix's timing-wheel events/sec falls below
+`--min-ratio` (default 0.8, i.e. a >20% regression) of the committed
+baseline for that mix. Because absolute rates depend on the host, the gate
+also checks a machine-independent invariant: the wheel must not fall behind
+the reference heap run in the *same* fresh measurement on the mixes the
+design promises to win (bursty, cancel_heavy).
+
+Usage: bench_compare.py --baseline BENCH_sim_engine.json --fresh fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_mixes(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "sim_engine":
+        raise SystemExit(f"{path}: not a sim_engine bench file")
+    return {m["name"]: m for m in doc["mixes"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_sim_engine.json")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly measured JSON (e.g. from --quick)")
+    ap.add_argument("--min-ratio", type=float, default=0.8,
+                    help="minimum fresh/baseline events-per-sec ratio")
+    args = ap.parse_args()
+
+    baseline = load_mixes(args.baseline)
+    fresh = load_mixes(args.fresh)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        base_rate = base["timing_wheel"]["events_per_sec"]
+        fresh_rate = fresh[name]["timing_wheel"]["events_per_sec"]
+        ratio = fresh_rate / base_rate if base_rate else 0.0
+        status = "ok" if ratio >= args.min_ratio else "REGRESSED"
+        print(f"{name:13s} wheel {fresh_rate:12.0f} ev/s vs baseline "
+              f"{base_rate:12.0f} ev/s  ratio {ratio:4.2f}  {status}")
+        if ratio < args.min_ratio:
+            failures.append(
+                f"{name}: wheel {fresh_rate:.0f} ev/s is {ratio:.2f}x the "
+                f"baseline {base_rate:.0f} ev/s (floor {args.min_ratio})")
+
+    # Machine-independent sanity: within the fresh run itself, the wheel
+    # must still beat the heap on the mixes the redesign targets.
+    for name in ("bursty", "cancel_heavy"):
+        if name not in fresh:
+            continue
+        speedup = fresh[name]["speedup_events_per_sec"]
+        status = "ok" if speedup >= 1.0 else "REGRESSED"
+        print(f"{name:13s} wheel/heap speedup {speedup:4.2f}  {status}")
+        if speedup < 1.0:
+            failures.append(
+                f"{name}: timing wheel slower than reference heap "
+                f"({speedup:.2f}x)")
+
+    if failures:
+        print("\nbench-smoke gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench-smoke gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
