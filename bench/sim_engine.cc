@@ -1,6 +1,6 @@
 // Simulator-core benchmark: timing wheel vs. reference heap (DESIGN.md §12).
 //
-// Four event mixes modeled on what the protocol stacks actually generate:
+// Five event mixes modeled on what the protocol stacks actually generate:
 //
 //   uniform       steady-state random horizons within the wheel's L0 span
 //                 (the fabric's frame/ACK traffic)
@@ -10,6 +10,9 @@
 //                 the sorted far list)
 //   cancel_heavy  the TCP-RTO pattern: arm a far timer, complete shortly
 //                 after, cancel the timer — most events die young
+//   open_loop     the workload-generator pattern: exponential-ish arrival
+//                 gaps, small same-timestamp fan-out per arrival, and a
+//                 drain timer per batch that is almost always cancelled
 //
 // Each mix runs on both QueueKind implementations with identical seeds; the
 // trace digests must agree (a benchmark that drifts from the contract is
@@ -143,6 +146,31 @@ void mix_cancel_heavy(Engine& e, std::mt19937_64& rng,
   e.run();
 }
 
+/// The open-loop generator/mux pattern (harness/openloop.h): arrivals at
+/// exponential-ish gaps, each fanning out a small same-timestamp batch
+/// (mux aggregation completions), plus a queue-drain timer per batch that
+/// is almost always cancelled when the batch ships early.
+void mix_open_loop(Engine& e, std::mt19937_64& rng, std::uint64_t arrivals) {
+  std::uniform_int_distribution<std::int64_t> gap(1, 40'000);     // ns
+  std::uniform_int_distribution<std::int64_t> wire(500, 20'000);  // ns
+  std::uniform_int_distribution<int> fanout(2, 6);
+  std::uint64_t drain_timer = 0;
+  for (std::uint64_t i = 0; i < arrivals; ++i) {
+    // Exponential-ish arrival gap via min of two uniforms (cheap, seeded).
+    const std::int64_t g = std::min(gap(rng), gap(rng));
+    const SimTime at = e.now() + SimTime::nanoseconds(g);
+    const int burst = fanout(rng);
+    for (int j = 0; j < burst; ++j) {
+      e.schedule_at(at + SimTime::nanoseconds(wire(rng)), [] {});
+    }
+    if (drain_timer != 0) (void)e.cancel(drain_timer);
+    drain_timer = e.schedule(SimTime::milliseconds(5), [] {});
+    e.run_until(at);
+  }
+  if (drain_timer != 0) (void)e.cancel(drain_timer);
+  e.run();
+}
+
 // ---- Driver ----------------------------------------------------------------
 
 struct MixResult {
@@ -223,6 +251,10 @@ int main(int argc, char** argv) {
       {"cancel_heavy",
        [&](sim::Engine& e, std::mt19937_64& r) {
          mix_cancel_heavy(e, r, kTransfers);
+       }},
+      {"open_loop",
+       [&](sim::Engine& e, std::mt19937_64& r) {
+         mix_open_loop(e, r, kTransfers);
        }},
   };
 

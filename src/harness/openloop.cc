@@ -1,0 +1,235 @@
+#include "harness/openloop.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "net/cluster.h"
+#include "sim/sync.h"
+
+namespace sv::harness {
+
+const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kMmpp:
+      return "mmpp";
+  }
+  return "?";
+}
+
+double ArrivalSpec::peak_rate_per_sec() const {
+  double peak = rate_per_sec;
+  if (kind == ArrivalKind::kMmpp) {
+    peak = std::max(peak, high_rate_per_sec());
+  }
+  peak *= 1.0 + diurnal_amplitude;
+  for (const FlashCrowd& fc : flash_crowds) {
+    peak *= static_cast<double>(fc.multiplier);
+  }
+  return peak;
+}
+
+namespace {
+
+/// Strictly-positive exponential draw in integer nanoseconds.
+SimTime exp_gap_ns(Rng& rng, double mean_ns) {
+  return SimTime::nanoseconds(
+      static_cast<std::int64_t>(rng.exponential(mean_ns)) + 1);
+}
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, std::uint64_t seed)
+    : spec_(spec), peak_(spec.peak_rate_per_sec()) {
+  SV_ASSERT(spec_.rate_per_sec > 0.0, "ArrivalSpec: rate must be positive");
+  SV_ASSERT(spec_.diurnal_amplitude >= 0.0 && spec_.diurnal_amplitude < 1.0,
+            "ArrivalSpec: diurnal amplitude must be in [0, 1)");
+  std::uint64_t st = seed;
+  arrivals_ = Rng(splitmix64_next(st));
+  states_ = Rng(splitmix64_next(st));
+  if (spec_.kind == ArrivalKind::kMmpp) {
+    state_until_ = exp_gap_ns(
+        states_, static_cast<double>(spec_.mmpp_sojourn_low.ns()));
+  }
+}
+
+double ArrivalProcess::rate_at(SimTime t) {
+  double r = spec_.rate_per_sec;
+  if (spec_.kind == ArrivalKind::kMmpp) {
+    // Advance the sojourn trajectory to t. The state path consumes only
+    // the `states_` stream, so it is the same trajectory regardless of
+    // how many thinning candidates were drawn along the way.
+    while (t >= state_until_) {
+      high_ = !high_;
+      const SimTime mean =
+          high_ ? spec_.mmpp_sojourn_high : spec_.mmpp_sojourn_low;
+      state_until_ += exp_gap_ns(states_, static_cast<double>(mean.ns()));
+    }
+    if (high_) r = spec_.high_rate_per_sec();
+  }
+  if (spec_.diurnal_period > SimTime::zero()) {
+    // Triangular wave: phase fraction in [0,1) from integer ns, peak at
+    // half-period. Scales the rate across [1-a, 1+a].
+    const std::int64_t phase = t.ns() % spec_.diurnal_period.ns();
+    const double frac =
+        static_cast<double>(phase) /
+        static_cast<double>(spec_.diurnal_period.ns());
+    const double tri = frac < 0.5 ? 2.0 * frac : 2.0 - 2.0 * frac;
+    r *= 1.0 - spec_.diurnal_amplitude + 2.0 * spec_.diurnal_amplitude * tri;
+  }
+  for (const FlashCrowd& fc : spec_.flash_crowds) {
+    if (t >= fc.at && t < fc.at + fc.duration) {
+      r *= static_cast<double>(fc.multiplier);
+    }
+  }
+  return r;
+}
+
+SimTime ArrivalProcess::next() {
+  const double mean_gap_ns = 1e9 / peak_;
+  for (;;) {
+    t_ += exp_gap_ns(arrivals_, mean_gap_ns);
+    const double r = rate_at(t_);
+    if (arrivals_.uniform01() * peak_ < r) return t_;
+  }
+}
+
+OpenLoopResult run_open_loop(const OpenLoopConfig& cfg) {
+  SV_ASSERT(cfg.cluster_nodes >= 2, "run_open_loop: need at least 2 nodes");
+  SV_ASSERT(cfg.duration > SimTime::zero(),
+            "run_open_loop: duration must be positive");
+  const int nodes = cfg.cluster_nodes;
+  const int fanout = std::max(1, std::min(cfg.fanout, nodes - 1));
+  const bool incast = cfg.incast_fraction > 0.0;
+
+  OpenLoopResult res;
+  sim::Simulation s(cfg.queue_kind);
+  net::Cluster cluster(&s, nodes, net::NodeConfig{}, cfg.topology);
+  cluster.install_faults(cfg.faults, cfg.seed);
+  begin_obs(s, cfg.obs);
+
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t drops = 0;
+  Samples latency;
+
+  sockets::SendMuxConfig mux_cfg = cfg.mux;
+  mux_cfg.transport = cfg.transport;
+  std::vector<std::unique_ptr<sockets::SendMux>> muxes;
+  muxes.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    muxes.push_back(std::make_unique<sockets::SendMux>(
+        &s, &cluster, n, mux_cfg,
+        [&s, &delivered, &latency](int, const sockets::MuxRecord& rec,
+                                   SimTime at) {
+          ++delivered;
+          latency.add(at - rec.enqueued);
+        }));
+  }
+
+  // Per-node connection tables: `fanout` steady destinations (+ one shared
+  // hot-node connection when incast redirection is on). Churn rewrites
+  // entries in place, so generators always see a live conn id.
+  std::vector<std::vector<std::uint64_t>> conns(
+      static_cast<std::size_t>(nodes));
+  std::vector<std::vector<int>> conn_dsts(static_cast<std::size_t>(nodes));
+  std::vector<std::uint64_t> hot_conns(static_cast<std::size_t>(nodes), 0);
+  for (int n = 0; n < nodes; ++n) {
+    const auto un = static_cast<std::size_t>(n);
+    for (int j = 0; j < fanout; ++j) {
+      const int dst = (n + 1 + j) % nodes;
+      conns[un].push_back(muxes[un]->open_connection(dst));
+      conn_dsts[un].push_back(dst);
+    }
+    if (incast && n != cfg.hot_node) {
+      hot_conns[un] = muxes[un]->open_connection(cfg.hot_node);
+    }
+  }
+
+  // Clients spread evenly: node n models clients_of(n) logical clients;
+  // each arrival belongs to a uniformly drawn client of that node.
+  const auto clients_of = [&cfg, nodes](int n) {
+    const auto base = cfg.clients / static_cast<std::uint64_t>(nodes);
+    const auto extra = cfg.clients % static_cast<std::uint64_t>(nodes);
+    return std::max<std::uint64_t>(
+        1, base + (static_cast<std::uint64_t>(n) < extra ? 1 : 0));
+  };
+
+  sim::Channel<int> done(&s, 0, "openloop.done");
+  for (int n = 0; n < nodes; ++n) {
+    // Per-node streams derived purely from (seed, node id).
+    std::uint64_t st =
+        cfg.seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(n) + 1);
+    const std::uint64_t arrival_seed = splitmix64_next(st);
+    const std::uint64_t pick_seed = splitmix64_next(st);
+    const std::uint64_t churn_seed = splitmix64_next(st);
+
+    s.spawn("openloop.gen" + std::to_string(n), [&, n, arrival_seed,
+                                                 pick_seed] {
+      const auto un = static_cast<std::size_t>(n);
+      ArrivalProcess ap(cfg.arrivals, arrival_seed);
+      Rng pick(pick_seed);
+      const std::uint64_t population = clients_of(n);
+      for (;;) {
+        const SimTime t = ap.next();
+        if (t > cfg.duration) break;
+        s.delay(t - s.now());
+        ++offered;
+        const std::uint64_t client = pick.next_below(population);
+        std::uint64_t conn;
+        if (incast && n != cfg.hot_node &&
+            pick.bernoulli(cfg.incast_fraction)) {
+          conn = hot_conns[un];
+        } else {
+          conn = conns[un][static_cast<std::size_t>(client) %
+                           conns[un].size()];
+        }
+        if (!muxes[un]->submit(conn, cfg.update_bytes)) ++drops;
+      }
+      done.send(n);
+    });
+
+    if (cfg.churn_per_sec > 0.0) {
+      s.spawn("openloop.churn" + std::to_string(n), [&, n, churn_seed] {
+        const auto un = static_cast<std::size_t>(n);
+        Rng crng(churn_seed);
+        const double mean_gap_ns = 1e9 / cfg.churn_per_sec;
+        for (;;) {
+          const SimTime gap = exp_gap_ns(crng, mean_gap_ns);
+          if (s.now() + gap > cfg.duration) break;
+          s.delay(gap);
+          // Close one steady connection and reopen it to the same peer:
+          // the row is replaced, queued records still deliver.
+          const std::size_t j = static_cast<std::size_t>(
+              crng.next_below(conns[un].size()));
+          muxes[un]->close_connection(conns[un][j]);
+          conns[un][j] = muxes[un]->open_connection(conn_dsts[un][j]);
+        }
+      });
+    }
+  }
+
+  // When every generator has finished its arrival schedule, stop intake;
+  // the muxes drain their queues, close their pipes, and the run ends.
+  s.spawn("openloop.closer", [&] {
+    for (int n = 0; n < nodes; ++n) (void)done.recv();
+    for (auto& m : muxes) m->shutdown();
+  });
+
+  s.run();
+  export_obs(s, cfg.obs);
+
+  res.offered = offered;
+  res.delivered = delivered;
+  res.drops = drops;
+  res.update_latency = std::move(latency);
+  res.events_fired = s.events_fired();
+  res.trace_digest = s.engine().trace_digest();
+  res.end_time = s.now();
+  return res;
+}
+
+}  // namespace sv::harness

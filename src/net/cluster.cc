@@ -22,11 +22,18 @@ void Node::compute(SimTime work) {
   cpu_.use(work * factor);
 }
 
-Cluster::Cluster(sim::Simulation* sim, int node_count, const NodeConfig& cfg)
+Cluster::Cluster(sim::Simulation* sim, int node_count, const NodeConfig& cfg,
+                 const TopologySpec& topo)
     : sim_(sim) {
   nodes_.reserve(static_cast<std::size_t>(node_count));
   for (int i = 0; i < node_count; ++i) {
     nodes_.push_back(std::make_unique<Node>(sim, i, cfg));
+  }
+  if (topo.kind != TopologyKind::kSingleCrossbar) {
+    topology_ = std::make_unique<Topology>(sim, topo, node_count);
+    for (auto& n : nodes_) {
+      n->set_topology(topology_.get());
+    }
   }
 }
 

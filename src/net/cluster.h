@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/fault.h"
+#include "net/topology.h"
 #include "sim/resource.h"
 #include "sim/simulation.h"
 
@@ -52,6 +53,12 @@ class Node {
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// The switch fabric this node attaches to, or nullptr for the implicit
+  /// single crossbar (the historical model). Pipes crossing this node
+  /// traverse it per frame.
+  [[nodiscard]] Topology* topology() const { return topology_; }
+  void set_topology(Topology* topology) { topology_ = topology; }
+
   sim::Resource& cpu() { return cpu_; }
   sim::Resource& tx_host() { return tx_host_; }
   sim::Resource& link_in() { return link_in_; }
@@ -63,6 +70,7 @@ class Node {
   NodeConfig cfg_;
   std::string name_;
   FaultInjector* injector_ = nullptr;
+  Topology* topology_ = nullptr;
   sim::Resource cpu_;
   sim::Resource tx_host_;
   sim::Resource link_in_;
@@ -71,8 +79,13 @@ class Node {
 
 class Cluster {
  public:
+  /// `topo` selects the switch fabric above the hosts. The default
+  /// single-crossbar spec builds no Topology object at all, so the executed
+  /// event schedule (and every digest pin) is identical to the
+  /// pre-topology fabric.
   Cluster(sim::Simulation* sim, int node_count,
-          const NodeConfig& cfg = NodeConfig{});
+          const NodeConfig& cfg = NodeConfig{},
+          const TopologySpec& topo = TopologySpec{});
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
@@ -91,10 +104,14 @@ class Cluster {
     return injector_.get();
   }
 
+  /// The explicit switch fabric, or nullptr for the single crossbar.
+  [[nodiscard]] Topology* topology() const { return topology_.get(); }
+
  private:
   sim::Simulation* sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<Topology> topology_;
 };
 
 }  // namespace sv::net

@@ -17,6 +17,10 @@ Pipe::State::State(sim::Simulation* sim_in, Node* src_in, Node* dst_in,
       to_wire(sim_in, 0, name + ".wire_q"),
       to_proto(sim_in, 0, name + ".proto_q"),
       delivered(sim_in, 0, name + ".delivered_q") {
+  topo = src->topology();
+  if (topo != nullptr) {
+    fabric_latency = topo->path_latency(src->id(), dst->id());
+  }
   obs::Registry& reg = sim->obs().registry;
   // Pipe names are caller-chosen and may repeat; a creation serial keeps
   // per-pipe metric names unique (creation order is deterministic).
@@ -179,6 +183,9 @@ void Pipe::State::wire_loop() {
     // Inbound link / DMA occupancy at the destination (EOF is free).
     if (!eof) {
       const SimTime wire_start = sim->now();
+      // Cross the switch fabric first (queueing on shared uplinks), then
+      // occupy the destination's inbound link / DMA path.
+      if (topo != nullptr) topo->traverse(src->id(), dst->id(), f->bytes);
       dst->link_in().use(model.wire_time(f->bytes));
       if (FaultInjector* inj = src->fault_injector()) {
         FaultDecision d = inj->on_frame(src->id(), dst->id());
@@ -191,6 +198,7 @@ void Pipe::State::wire_loop() {
           sim->obs().tracer.instant(sim->now(), dst->id(), "fabric", "retx",
                                     f->bytes);
           sim->delay(d.recovery_delay);
+          if (topo != nullptr) topo->traverse(src->id(), dst->id(), f->bytes);
           dst->link_in().use(model.wire_time(f->bytes));
           d = inj->on_frame(src->id(), dst->id());
         }
@@ -210,9 +218,10 @@ void Pipe::State::wire_loop() {
     // unbounded, so the event-context send cannot block. The event co-owns
     // the state via shared_ptr (safe across Pipe destruction).
     auto shared = std::make_shared<Frame>(std::move(*f));
-    sim->schedule(profile.propagation, [self = shared_from_this(), shared] {
-      self->to_proto.send(std::move(*shared));
-    });
+    sim->schedule(profile.propagation + fabric_latency,
+                  [self = shared_from_this(), shared] {
+                    self->to_proto.send(std::move(*shared));
+                  });
     if (eof) break;
   }
 }

@@ -131,6 +131,12 @@ class Pipe {
     CalibrationProfile profile;
     CostModel model;
     std::string name;
+    /// Switch fabric between src and dst (nullptr = single crossbar). The
+    /// wire stage traverses the routed path before the destination's
+    /// link_in, and `fabric_latency` (path hops * hop latency, fixed per
+    /// pipe since routing is deterministic) extends propagation.
+    Topology* topo = nullptr;
+    SimTime fabric_latency{};
 
     std::uint64_t next_seq = 0;
     bool closed = false;

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/openloop.h"
 #include "harness/vizbench.h"
 #include "net/cluster.h"
 #include "sim/simulation.h"
@@ -155,6 +156,33 @@ PinnedRun fig10_balance(sim::QueueKind kind, net::Transport tr,
   return {r.events_fired, r.trace_digest};
 }
 
+/// Scale pin: a 128-node open-loop run over a k=8 fat-tree with faults,
+/// churn, and incast redirection all active (DESIGN.md §13). Much smaller
+/// than the scale_replay_test battery, but through the identical stack, so
+/// cross-commit drift in topology routing, mux batching, or arrival math
+/// trips this pin mechanically.
+PinnedRun scale_openloop(sim::QueueKind kind, net::Transport tr) {
+  OpenLoopConfig cfg;
+  cfg.transport = tr;
+  cfg.cluster_nodes = 128;
+  cfg.topology = net::TopologySpec::fat_tree(8, 2);
+  cfg.seed = 404;
+  cfg.clients = 128'000;
+  cfg.arrivals.kind = ArrivalKind::kMmpp;
+  cfg.arrivals.rate_per_sec = 1'000.0;
+  cfg.update_bytes = 2048;
+  cfg.fanout = 4;
+  cfg.incast_fraction = 0.1;
+  cfg.hot_node = 5;
+  cfg.churn_per_sec = 30.0;
+  cfg.duration = SimTime::milliseconds(10);
+  cfg.faults.all_links.loss = 0.01;
+  cfg.faults.all_links.max_jitter = SimTime::microseconds(20);
+  cfg.queue_kind = kind;
+  const auto r = run_open_loop(cfg);
+  return {r.events_fired, r.trace_digest};
+}
+
 /// Runs `make_run` on every queue implementation and checks each against
 /// the same pin.
 template <typename F>
@@ -197,6 +225,18 @@ TEST(DigestPins, Fig10BalanceTcp) {
 TEST(DigestPins, Fig10BalanceSocketVia) {
   check_all_queues("fig10_balance_svia", [](sim::QueueKind k) {
     return fig10_balance(k, net::Transport::kSocketVia, 2 * 1024);
+  });
+}
+
+TEST(DigestPins, ScaleOpenLoopSocketVia) {
+  check_all_queues("scale_openloop_svia", [](sim::QueueKind k) {
+    return scale_openloop(k, net::Transport::kSocketVia);
+  });
+}
+
+TEST(DigestPins, ScaleOpenLoopTcp) {
+  check_all_queues("scale_openloop_tcp", [](sim::QueueKind k) {
+    return scale_openloop(k, net::Transport::kKernelTcp);
   });
 }
 

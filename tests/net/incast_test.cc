@@ -1,0 +1,139 @@
+// Incast regression: an N->1 burst onto one edge switch must exhibit
+// fabric queueing (p99 >> p50 as later frames wait behind earlier ones on
+// the shared down-links), while traffic that never leaves its edge switch
+// stays flat. Guards that the topology model doesn't silently degrade to
+// the old single-crossbar behavior, where the fabric could never queue.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/cluster.h"
+#include "net/fabric.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace sv::net {
+namespace {
+
+struct IncastOutcome {
+  Samples incast_latency;  ///< cross-edge senders -> hot node
+  Samples local_latency;   ///< same-edge pair, away from the incast
+  std::uint64_t fabric_wait_ns = 0;
+};
+
+IncastOutcome run_incast(const TopologySpec& spec) {
+  constexpr int kNodes = 16;
+  constexpr int kHot = 0;
+  // Two-phase load: a paced steady phase every flow meets comfortably
+  // (these land at p50), then a synchronized back-to-back flash burst
+  // from all senders (the tail). kMsgs latencies per flow in total.
+  constexpr int kPaced = 10;
+  constexpr int kBurst = 6;
+  constexpr int kMsgs = kPaced + kBurst;
+  constexpr std::uint64_t kBytes = 16 * 1024;
+
+  sim::Simulation s;
+  Cluster cluster(&s, kNodes, NodeConfig{}, spec);
+  IncastOutcome out;
+
+  CalibrationProfile profile = CalibrationProfile::socket_via();
+  // A large window so queueing happens in the fabric, not the sender.
+  profile.window_bytes = 8 * 1024 * 1024;
+
+  // Every node outside the hot node's edge switch bursts at it.
+  std::vector<std::unique_ptr<Pipe>> pipes;
+  for (int n = 4; n < kNodes; ++n) {
+    pipes.push_back(std::make_unique<Pipe>(
+        &s, &cluster.node(static_cast<std::size_t>(n)), &cluster.node(kHot),
+        profile, "incast" + std::to_string(n)));
+  }
+  const SimTime pace = SimTime::milliseconds(15);
+  for (auto& p : pipes) {
+    s.spawn(p->name() + ".send", [&s, &p, pace] {
+      for (int i = 0; i < kPaced; ++i) {
+        Message m;
+        m.bytes = kBytes;
+        p->send(std::move(m));
+        s.delay(pace);
+      }
+      for (int i = 0; i < kBurst; ++i) {
+        Message m;
+        m.bytes = kBytes;
+        p->send(std::move(m));
+      }
+      p->close();
+    });
+    s.spawn(p->name() + ".recv", [&out, &p] {
+      while (auto m = p->recv()) {
+        out.incast_latency.add(m->delivered_at - m->sent_at);
+      }
+    });
+  }
+
+  // A same-edge pair (nodes 2 -> 3 share an edge switch with neither
+  // endpoint of the incast): its messages touch no contended resource.
+  Pipe local(&s, &cluster.node(2), &cluster.node(3), profile, "local");
+  s.spawn("local.send", [&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      Message m;
+      m.bytes = kBytes;
+      local.send(std::move(m));
+      s.delay(SimTime::milliseconds(2));
+    }
+    local.close();
+  });
+  s.spawn("local.recv", [&] {
+    while (auto m = local.recv()) {
+      out.local_latency.add(m->delivered_at - m->sent_at);
+    }
+  });
+
+  s.run();
+
+  if (const Topology* topo = cluster.topology()) {
+    for (std::size_t i = 0; i < topo->link_count(); ++i) {
+      out.fabric_wait_ns += topo->link(i).c_wait_ns->value();
+    }
+  }
+  return out;
+}
+
+TEST(Incast, FatTreeUplinksQueueWhileLocalTrafficStaysFlat) {
+  // 4x oversubscription: the agg<->core tier, not the hot host, is the
+  // dominant bottleneck, as in a production fat-tree under incast.
+  const IncastOutcome got = run_incast(TopologySpec::fat_tree(4, 4));
+  ASSERT_EQ(got.incast_latency.count(), 12u * 16u);
+  ASSERT_EQ(got.local_latency.count(), 16u);
+
+  // Fabric queueing is the signature: later frames waited on the shared
+  // down-links into the hot edge, so the tail is far above the median.
+  EXPECT_GT(got.fabric_wait_ns, 0u);
+  const double p50 = got.incast_latency.percentile(50.0);
+  const double p99 = got.incast_latency.percentile(99.0);
+  EXPECT_GT(p99, 2.0 * p50)
+      << "incast tail should queue: p50=" << p50 << "ns p99=" << p99 << "ns";
+
+  // Intra-switch traffic shares nothing with the burst: flat latency.
+  const double lp50 = got.local_latency.percentile(50.0);
+  const double lp99 = got.local_latency.percentile(99.0);
+  EXPECT_LT(lp99, 1.2 * lp50)
+      << "same-edge traffic must not feel the incast: p50=" << lp50
+      << "ns p99=" << lp99 << "ns";
+}
+
+TEST(Incast, CrossbarShowsNoFabricQueueing) {
+  // The historical model has no fabric to queue in; the incast tail there
+  // comes only from the hot node's own link. This pins the *difference*
+  // the topology adds.
+  const IncastOutcome fat = run_incast(TopologySpec::fat_tree(4, 4));
+  const IncastOutcome flat = run_incast(TopologySpec::single_crossbar());
+  EXPECT_EQ(flat.fabric_wait_ns, 0u);
+  EXPECT_GT(fat.incast_latency.percentile(99.0),
+            flat.incast_latency.percentile(99.0))
+      << "fabric contention should lengthen the incast tail vs crossbar";
+}
+
+}  // namespace
+}  // namespace sv::net

@@ -1,15 +1,26 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_sim_engine.json run against the committed baseline.
+"""Compare a fresh bench JSON against the committed baseline.
 
-CI's bench-smoke job runs `sim_engine --quick` and feeds the result here.
-The gate fails when any mix's timing-wheel events/sec falls below
-`--min-ratio` (default 0.8, i.e. a >20% regression) of the committed
+Dispatches on the file's "bench" field:
+
+sim_engine — CI's bench-smoke job runs `sim_engine --quick` and feeds the
+result here. The gate fails when any mix's timing-wheel events/sec falls
+below `--min-ratio` (default 0.8, i.e. a >20% regression) of the committed
 baseline for that mix. Because absolute rates depend on the host, the gate
 also checks a machine-independent invariant: the wheel must not fall behind
 the reference heap run in the *same* fresh measurement on the mixes the
-design promises to win (bursty, cancel_heavy).
+design promises to win (bursty, cancel_heavy, open_loop).
 
-Usage: bench_compare.py --baseline BENCH_sim_engine.json --fresh fresh.json
+scale_sweep — CI's scale-smoke job runs `scale_sweep --quick` (the 64-node
+subset). Model outputs (offered/delivered/drops, p50/p99 update latency,
+trace digest) are pure functions of (config, seed), so for every point
+present in both files they must match the baseline EXACTLY — a drift means
+the executed schedule changed and the baseline must be deliberately
+regenerated, same policy as tests/integration/digest_pins.txt. Host
+throughput (events/sec) is gated by `--min-ratio` like sim_engine, plus the
+machine-independent invariant p99 >= p50.
+
+Usage: bench_compare.py --baseline BENCH_x.json --fresh fresh.json
 """
 
 import argparse
@@ -17,62 +28,127 @@ import json
 import sys
 
 
-def load_mixes(path):
+def load(path):
     with open(path) as f:
-        doc = json.load(f)
-    if doc.get("bench") != "sim_engine":
-        raise SystemExit(f"{path}: not a sim_engine bench file")
-    return {m["name"]: m for m in doc["mixes"]}
+        return json.load(f)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_sim_engine.json")
-    ap.add_argument("--fresh", required=True,
-                    help="freshly measured JSON (e.g. from --quick)")
-    ap.add_argument("--min-ratio", type=float, default=0.8,
-                    help="minimum fresh/baseline events-per-sec ratio")
-    args = ap.parse_args()
-
-    baseline = load_mixes(args.baseline)
-    fresh = load_mixes(args.fresh)
+def compare_sim_engine(baseline, fresh, min_ratio):
+    base_mixes = {m["name"]: m for m in baseline["mixes"]}
+    fresh_mixes = {m["name"]: m for m in fresh["mixes"]}
 
     failures = []
-    for name, base in sorted(baseline.items()):
-        if name not in fresh:
+    for name, base in sorted(base_mixes.items()):
+        if name not in fresh_mixes:
             failures.append(f"{name}: missing from fresh run")
             continue
         base_rate = base["timing_wheel"]["events_per_sec"]
-        fresh_rate = fresh[name]["timing_wheel"]["events_per_sec"]
+        fresh_rate = fresh_mixes[name]["timing_wheel"]["events_per_sec"]
         ratio = fresh_rate / base_rate if base_rate else 0.0
-        status = "ok" if ratio >= args.min_ratio else "REGRESSED"
+        status = "ok" if ratio >= min_ratio else "REGRESSED"
         print(f"{name:13s} wheel {fresh_rate:12.0f} ev/s vs baseline "
               f"{base_rate:12.0f} ev/s  ratio {ratio:4.2f}  {status}")
-        if ratio < args.min_ratio:
+        if ratio < min_ratio:
             failures.append(
                 f"{name}: wheel {fresh_rate:.0f} ev/s is {ratio:.2f}x the "
-                f"baseline {base_rate:.0f} ev/s (floor {args.min_ratio})")
+                f"baseline {base_rate:.0f} ev/s (floor {min_ratio})")
 
     # Machine-independent sanity: within the fresh run itself, the wheel
     # must still beat the heap on the mixes the redesign targets.
-    for name in ("bursty", "cancel_heavy"):
-        if name not in fresh:
+    for name in ("bursty", "cancel_heavy", "open_loop"):
+        if name not in fresh_mixes:
             continue
-        speedup = fresh[name]["speedup_events_per_sec"]
+        speedup = fresh_mixes[name]["speedup_events_per_sec"]
         status = "ok" if speedup >= 1.0 else "REGRESSED"
         print(f"{name:13s} wheel/heap speedup {speedup:4.2f}  {status}")
         if speedup < 1.0:
             failures.append(
                 f"{name}: timing wheel slower than reference heap "
                 f"({speedup:.2f}x)")
+    return failures
+
+
+# Deterministic model outputs: exact match required between a fresh point
+# and its committed twin. events_per_sec / wall_seconds are host-dependent
+# and deliberately excluded.
+EXACT_POINT_KEYS = ("offered", "delivered", "drops", "p50_update_ns",
+                    "p99_update_ns", "events_fired", "trace_digest")
+
+
+def compare_scale_sweep(baseline, fresh, min_ratio):
+    base_points = {p["name"]: p for p in baseline["points"]}
+    fresh_points = {p["name"]: p for p in fresh["points"]}
+
+    failures = []
+    for name, got in sorted(fresh_points.items()):
+        if name not in base_points:
+            failures.append(
+                f"{name}: not in the baseline — regenerate "
+                f"BENCH_scale_sweep.json with a full (non --quick) run")
+            continue
+        base = base_points[name]
+
+        drifted = [k for k in EXACT_POINT_KEYS if base[k] != got[k]]
+        base_rate = base["events_per_sec"]
+        fresh_rate = got["events_per_sec"]
+        ratio = fresh_rate / base_rate if base_rate else 0.0
+        tail_ok = got["p99_update_ns"] >= got["p50_update_ns"]
+
+        status = "ok"
+        if drifted:
+            status = "DRIFTED"
+            failures.append(
+                f"{name}: deterministic outputs drifted from baseline "
+                f"({', '.join(drifted)}) — the executed schedule changed; "
+                f"regenerate the baseline only for understood changes")
+        if ratio < min_ratio:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {fresh_rate:.0f} ev/s is {ratio:.2f}x the "
+                f"baseline {base_rate:.0f} ev/s (floor {min_ratio})")
+        if not tail_ok:
+            status = "BROKEN"
+            failures.append(
+                f"{name}: p99 {got['p99_update_ns']:.0f} ns below p50 "
+                f"{got['p50_update_ns']:.0f} ns")
+        print(f"{name:28s} {fresh_rate:9.0f} ev/s  ratio {ratio:4.2f}  "
+              f"p50 {got['p50_update_ns']:9.0f} ns  "
+              f"p99 {got['p99_update_ns']:9.0f} ns  {status}")
+    if not fresh_points:
+        failures.append("fresh run contains no points")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_*.json")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly measured JSON (e.g. from --quick)")
+    ap.add_argument("--min-ratio", type=float, default=0.8,
+                    help="minimum fresh/baseline events-per-sec ratio")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    kind = baseline.get("bench")
+    if fresh.get("bench") != kind:
+        raise SystemExit(
+            f"bench kind mismatch: baseline is {kind!r}, "
+            f"fresh is {fresh.get('bench')!r}")
+    if kind == "sim_engine":
+        failures = compare_sim_engine(baseline, fresh, args.min_ratio)
+    elif kind == "scale_sweep":
+        failures = compare_scale_sweep(baseline, fresh, args.min_ratio)
+    else:
+        raise SystemExit(f"{args.baseline}: unknown bench kind {kind!r}")
 
     if failures:
-        print("\nbench-smoke gate FAILED:", file=sys.stderr)
+        print(f"\n{kind} gate FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print("\nbench-smoke gate passed")
+    print(f"\n{kind} gate passed")
     return 0
 
 
