@@ -17,6 +17,7 @@
 
 #include "common/cli.h"
 #include "harness/series.h"
+#include "mem/copy_policy.h"
 #include "net/cost_model.h"
 #include "sockets/factory.h"
 
@@ -71,6 +72,45 @@ double bandwidth(net::Transport tr, int scale_pct, std::uint64_t bytes,
     *copy_bytes_out = s.obs().registry.counter_value("mem.copy_bytes");
   }
   return throughput_mbps(bytes * static_cast<std::uint64_t>(iters), elapsed);
+}
+
+// Policy cross-check (DESIGN.md §14): the same SocketVIA stream under each
+// selective-copy policy. Eager staging re-introduces a copy per message on
+// the otherwise copy-free path; pin-based policies keep copies at zero and
+// bill the registration ledger instead.
+void print_policy_crosscheck(std::ostream& os, std::uint64_t bytes,
+                             int iters) {
+  os << "policy cross-check (SocketVIA, " << bytes / 1024 << " KiB x "
+     << iters << " stream):\n";
+  for (auto kind :
+       {mem::CopyPolicyKind::kStaticPool, mem::CopyPolicyKind::kEagerCopy,
+        mem::CopyPolicyKind::kRegisterOnFly, mem::CopyPolicyKind::kRegCache}) {
+    sim::Simulation s;
+    net::Cluster cluster(&s, 2);
+    sockets::SocketFactory factory(&s, &cluster, sockets::Fidelity::kFast);
+    mem::CopyPolicyConfig pcfg;
+    pcfg.kind = kind;
+    factory.set_copy_policy(pcfg);
+    s.spawn("app", [&] {
+      auto [a, b] = factory.connect(0, 1, net::Transport::kSocketVia);
+      s.spawn("rx", [&, b = std::move(b), iters]() mutable {
+        for (int i = 0; i < iters; ++i) b->recv();
+      });
+      for (int i = 0; i < iters; ++i) {
+        // One hot application buffer: the regcache row pins once and hits
+        // thereafter, while register_on_fly re-pins every message.
+        a->send(net::Message{.bytes = bytes, .buffer = 1});
+      }
+      a->close_send();
+    });
+    s.run();
+    const auto& reg = s.obs().registry;
+    os << "  " << copy_policy_name(kind)
+       << ": copies=" << reg.counter_value("mem.copies")
+       << " registrations=" << reg.counter_value("mem.registrations")
+       << " regcache_hits="
+       << reg.counter_value("mem.regcache_hits{cache=regcache}") << "\n";
+  }
 }
 
 }  // namespace
@@ -143,6 +183,7 @@ int main(int argc, char** argv) {
               << "\nreading: VIA/SocketVIA are flat (no copies to scale); "
                  "TCP degrades linearly with the copy term, and more "
                  "steeply at larger messages.\n";
+    print_policy_crosscheck(std::cout, 65536, it);
   }
   return 0;
 }

@@ -240,6 +240,92 @@ int run_copy_audit(int iters) {
               << " (expected 0; mem.registrations=" << regs << ") "
               << (pass ? "OK" : "VIOLATION") << "\n";
   }
+  // Per-policy expected-copy assertions (DESIGN.md §14): the selective-copy
+  // engine must charge exactly its decision-table row. Every message reuses
+  // buffer region 1, so the regcache sees maximal locality: one miss per
+  // node-policy, hits thereafter.
+  {
+    struct PolicyRow {
+      const char* name;
+      mem::CopyPolicyKind kind;
+      net::Transport tr;
+    };
+    const PolicyRow prows[] = {
+        {"SocketVIA + eager_copy", mem::CopyPolicyKind::kEagerCopy,
+         net::Transport::kSocketVia},
+        {"SocketVIA + register_on_fly", mem::CopyPolicyKind::kRegisterOnFly,
+         net::Transport::kSocketVia},
+        {"SocketVIA + regcache", mem::CopyPolicyKind::kRegCache,
+         net::Transport::kSocketVia},
+        {"TCP + eager_copy (policy inert)", mem::CopyPolicyKind::kEagerCopy,
+         net::Transport::kKernelTcp},
+    };
+    for (const PolicyRow& row : prows) {
+      sim::Simulation s;
+      net::Cluster cluster(&s, 2);
+      sockets::SocketFactory factory(&s, &cluster, sockets::Fidelity::kFast);
+      mem::CopyPolicyConfig pcfg;
+      pcfg.kind = row.kind;
+      pcfg.cache.capacity_regions = 8;
+      factory.set_copy_policy(pcfg);
+      s.spawn("app", [&] {
+        auto [a, b] = factory.connect(0, 1, row.tr);
+        s.spawn("pong", [&, b = std::move(b)]() mutable {
+          while (auto m = b->recv()) b->send(*m);
+        });
+        for (int i = 0; i < iters; ++i) {
+          a->send(net::Message{.bytes = kBytes, .buffer = 1});
+          a->recv();
+        }
+        a->close_send();
+      });
+      s.run();
+      const auto messages = static_cast<std::uint64_t>(2 * iters);
+      const auto& reg = s.obs().registry;
+      const std::uint64_t copies = reg.counter_value("mem.copies");
+      const std::uint64_t regs = reg.counter_value("mem.registrations");
+      const std::uint64_t deregs = reg.counter_value("mem.deregistrations");
+      bool pass = false;
+      switch (row.kind) {
+        case mem::CopyPolicyKind::kStaticPool:
+          pass = copies == 0 && regs == 0;
+          break;
+        case mem::CopyPolicyKind::kEagerCopy:
+          if (row.tr == net::Transport::kKernelTcp) {
+            // TCP never consults the policy: its two structural copies per
+            // message remain, and nothing is pinned.
+            pass = copies == 2 * messages && regs == 0 &&
+                   reg.counter_value(
+                       "mem.policy_decisions{policy=eager_copy}") == 0;
+          } else {
+            // One bounce copy per message, no pinning.
+            pass = copies == messages && regs == 0 &&
+                   reg.counter_value(
+                       "mem.copies{at=policy.stage_copy}") == messages;
+          }
+          break;
+        case mem::CopyPolicyKind::kRegisterOnFly:
+          // Zero copies; every message pins and unpins.
+          pass = copies == 0 && regs == messages && deregs == messages;
+          break;
+        case mem::CopyPolicyKind::kRegCache: {
+          // Zero copies; one miss per node-policy (both sides send the
+          // same region id), hits for every other message.
+          const std::uint64_t hits =
+              reg.counter_value("mem.regcache_hits{cache=regcache}");
+          const std::uint64_t misses =
+              reg.counter_value("mem.regcache_misses{cache=regcache}");
+          pass = copies == 0 && misses == 2 && regs == 2 &&
+                 hits == messages - 2;
+          break;
+        }
+      }
+      ok = ok && pass;
+      std::cout << "  " << row.name << ": mem.copies=" << copies
+                << " registrations=" << regs << " deregistrations=" << deregs
+                << " " << (pass ? "OK" : "VIOLATION") << "\n";
+    }
+  }
   std::cout << (ok ? "copy audit passed\n" : "copy audit FAILED\n");
   return ok ? 0 : 1;
 }

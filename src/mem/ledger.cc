@@ -32,6 +32,16 @@ void charge_registration(obs::Hub* hub, SimTime now, int node,
   }
 }
 
+void charge_deregistration(obs::Hub* hub, SimTime now, int node,
+                           std::uint64_t bytes) {
+  if (hub == nullptr) return;
+  hub->registry.counter("mem.deregistrations").inc();
+  hub->registry.counter("mem.deregistered_bytes").inc(bytes);
+  if (hub->tracer.enabled()) {
+    hub->tracer.instant(now, node, "mem", "deregistration", bytes);
+  }
+}
+
 std::uint64_t copies_recorded(const obs::Hub& hub) {
   return hub.registry.counter_value("mem.copies");
 }

@@ -31,9 +31,17 @@ void charge_copy(obs::Hub* hub, SimTime now, int node, std::string_view stage,
                  std::uint64_t bytes);
 
 /// Records one memory registration (pinning) of `bytes` bytes on `node`.
-/// The time cost of pinning is charged by the caller (via::Nic).
+/// The time cost of pinning is charged by the caller (via::Nic, or the
+/// selective-copy policy layer — copy_policy.h).
 void charge_registration(obs::Hub* hub, SimTime now, int node,
                          std::uint64_t bytes);
+
+/// Records one memory deregistration (unpinning) of `bytes` bytes on
+/// `node`: the other half of the pin-down trade-off. Charged by
+/// register-on-the-fly completions and RegCache evictions; like
+/// registration, the *time* cost stays with the caller.
+void charge_deregistration(obs::Hub* hub, SimTime now, int node,
+                           std::uint64_t bytes);
 
 /// Total copies recorded in `hub` so far (aggregate counter; test helper).
 [[nodiscard]] std::uint64_t copies_recorded(const obs::Hub& hub);

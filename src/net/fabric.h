@@ -50,6 +50,11 @@ struct Message {
   /// copies happen only at modeled user↔kernel boundaries and are charged
   /// through mem::charge_copy.
   mem::Payload payload{};
+  /// Buffer-region id for the selective-copy policy layer (DESIGN.md §14):
+  /// messages sharing a `buffer` reuse the same registered region, which
+  /// is what the pin-down RegCache keys on. 0 (default) means "anonymous
+  /// one-shot buffer" — never a cache hit against another message.
+  std::uint64_t buffer = 0;
   /// Optional application metadata (e.g. a DataCutter buffer descriptor).
   std::any meta{};
 };

@@ -34,6 +34,26 @@ via::Nic& SocketFactory::via_nic(std::size_t node) {
   return *it->second;
 }
 
+void SocketFactory::set_copy_policy(const mem::CopyPolicyConfig& config) {
+  policy_config_ = config;
+  // Existing per-node engines are dropped; sockets already connected keep
+  // the policy they were built with (shared_ptr ownership).
+  policies_.clear();
+}
+
+mem::CopyPolicy* SocketFactory::copy_policy(std::size_t node) {
+  if (policy_config_.kind == mem::CopyPolicyKind::kStaticPool) return nullptr;
+  auto it = policies_.find(node);
+  if (it == policies_.end()) {
+    it = policies_
+             .emplace(node, std::make_shared<mem::CopyPolicy>(
+                                &sim_->obs(), static_cast<int>(node),
+                                policy_config_))
+             .first;
+  }
+  return it->second.get();
+}
+
 SocketPair SocketFactory::connect(std::size_t src, std::size_t dst,
                                   net::Transport transport) {
   SocketPair pair = [&] {
@@ -64,6 +84,13 @@ SocketPair SocketFactory::connect(std::size_t src, std::size_t dst,
                                   copy_scale_pct_);
     pair.second->set_copy_ablation(profile.copy_fixed, profile.copy_per_byte,
                                    copy_scale_pct_);
+  }
+  if (policy_config_.kind != mem::CopyPolicyKind::kStaticPool &&
+      transport != net::Transport::kKernelTcp) {
+    (void)copy_policy(src);
+    (void)copy_policy(dst);
+    pair.first->set_copy_policy(policies_.at(src));
+    pair.second->set_copy_policy(policies_.at(dst));
   }
   return pair;
 }

@@ -35,6 +35,18 @@ class SocketFactory {
   /// are affected; zero-copy transports record no copies to scale.
   void set_copy_cost_scale_pct(int pct) { copy_scale_pct_ = pct; }
 
+  /// Selective-copy policy for subsequently connected sockets
+  /// (DESIGN.md §14). kStaticPool (default) installs nothing — the legacy
+  /// zero-overhead path, digests unchanged. Any other kind builds one
+  /// mem::CopyPolicy per *node* (lazily, so RegCache state is shared by
+  /// all of a node's sockets) and installs it on each new endpoint.
+  /// Kernel TCP endpoints never consult the policy.
+  void set_copy_policy(const mem::CopyPolicyConfig& config);
+
+  /// The per-node policy engine (created on demand; null under the
+  /// static-pool default). Benches use this to inspect RegCache state.
+  mem::CopyPolicy* copy_policy(std::size_t node);
+
   [[nodiscard]] Fidelity fidelity() const { return fidelity_; }
   [[nodiscard]] net::Cluster& cluster() { return *cluster_; }
 
@@ -49,6 +61,8 @@ class SocketFactory {
   std::uint64_t window_override_ = 0;
   int copy_scale_pct_ = 0;
   std::uint64_t next_conn_id_ = 0;
+  mem::CopyPolicyConfig policy_config_{};
+  std::map<std::size_t, std::shared_ptr<mem::CopyPolicy>> policies_;
   std::map<std::size_t, std::unique_ptr<tcpstack::TcpStack>> tcp_stacks_;
   std::map<std::size_t, std::unique_ptr<via::Nic>> via_nics_;
 };

@@ -36,9 +36,17 @@ FastSocket::FastSocket(sim::Simulation* sim, net::Transport transport,
 
 void FastSocket::send(net::Message m) {
   const std::uint64_t bytes = m.bytes;
+  const std::uint64_t buffer = m.buffer;
   const SimTime start = obs_now();
-  if (transport_copies(transport_)) note_copy("tcp.user_to_kernel", bytes);
+  bool release = false;
+  if (transport_copies(transport_)) {
+    // TCP's copies are structural; the policy does not apply.
+    note_copy("tcp.user_to_kernel", bytes);
+  } else {
+    release = policy_acquire(buffer, bytes);
+  }
   out_->send(std::move(m));
+  if (release) policy_release(buffer, bytes);
   note_sent(bytes);
   obs_span(start, "send", bytes);
 }
@@ -80,8 +88,14 @@ Result<std::optional<net::Message>> FastSocket::recv_for(SimTime timeout) {
 
 Result<void> FastSocket::send_for(net::Message m, SimTime timeout) {
   const std::uint64_t bytes = m.bytes;
+  const std::uint64_t buffer = m.buffer;
   const SimTime start = obs_now();
+  // Policy work happens before the transport accepts the message — a
+  // pinned-then-timed-out message still paid for its pin.
+  const bool release =
+      transport_copies(transport_) ? false : policy_acquire(buffer, bytes);
   auto r = out_->send_for(std::move(m), timeout);
+  if (release) policy_release(buffer, bytes);
   if (r.ok()) {
     if (transport_copies(transport_)) note_copy("tcp.user_to_kernel", bytes);
     note_sent(bytes);

@@ -28,6 +28,10 @@ SendMux::State::State(sim::Simulation* sim_in, net::Cluster* cluster_in,
   c_batch_records = &reg.counter("mux.batch_records" + nl);
   c_delivered = &reg.counter("mux.delivered" + nl);
   g_queued_bytes = &reg.gauge("mux.queued_bytes" + nl);
+  if (cfg.copy_policy.kind != mem::CopyPolicyKind::kStaticPool) {
+    policy = std::make_unique<mem::CopyPolicy>(&sim->obs(), node,
+                                               cfg.copy_policy);
+  }
 }
 
 SendMux::SendMux(sim::Simulation* sim, net::Cluster* cluster, int node,
@@ -83,12 +87,18 @@ std::uint64_t SendMux::open_connection(int dst_node) {
 }
 
 bool SendMux::submit(std::uint64_t conn, std::uint64_t bytes) {
+  return submit(conn, bytes, /*buffer=*/0, mem::Payload{});
+}
+
+bool SendMux::submit(std::uint64_t conn, std::uint64_t bytes,
+                     std::uint64_t buffer, mem::Payload payload) {
   State& st = *st_;
   if (st.stopping) return false;
   auto it = st.conn_dst.find(conn);
   SV_ASSERT(it != st.conn_dst.end(), "SendMux::submit on a closed conn");
   Lane& l = st.lanes.at(it->second);
   if (l.queued_bytes + bytes > st.cfg.queue_cap_bytes) {
+    // `payload` dies here: the drop releases its pooled chunk immediately.
     st.c_drops->inc();
     return false;
   }
@@ -96,7 +106,9 @@ bool SendMux::submit(std::uint64_t conn, std::uint64_t bytes) {
   r.conn = conn;
   r.bytes = bytes;
   r.enqueued = st.sim->now();
-  l.q.push_back(r);
+  r.buffer = buffer;
+  r.payload = std::move(payload);
+  l.q.push_back(std::move(r));
   l.queued_bytes += bytes;
   st.g_queued_bytes->add(static_cast<std::int64_t>(bytes));
   st.c_submitted->inc();
@@ -142,15 +154,27 @@ void SendMux::State::sender_loop() {
     // record always fits (a lone oversized record must still ship).
     auto recs = std::make_shared<std::vector<MuxRecord>>();
     std::uint64_t total = 0;
+    SimTime policy_cost = SimTime::zero();
+    // (buffer, bytes) pins owed a release once the aggregate has shipped.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pinned;
     while (!l.q.empty() && recs->size() < cfg.aggregate_max_msgs) {
       const std::uint64_t need = cfg.header_bytes + l.q.front().bytes;
       if (!recs->empty() && total + need > cfg.aggregate_max_bytes) break;
-      MuxRecord r = l.q.front();
+      MuxRecord r = std::move(l.q.front());
       l.q.pop_front();
       l.queued_bytes -= r.bytes;
       g_queued_bytes->add(-static_cast<std::int64_t>(r.bytes));
       total += need;
-      recs->push_back(r);
+      if (policy != nullptr) {
+        // Per-record consult (DESIGN.md §14): staging this record into the
+        // aggregate costs whatever the policy decides — a bounce copy, a
+        // pin, or a cache lookup.
+        const mem::CopyVerdict v =
+            policy->acquire(sim->now(), r.buffer, r.bytes);
+        policy_cost = policy_cost + v.cpu_cost;
+        if (v.needs_release) pinned.emplace_back(r.buffer, r.bytes);
+      }
+      recs->push_back(std::move(r));
     }
     // Re-arm at the tail while the lane still has work: round-robin
     // fairness across destinations, FIFO within a lane.
@@ -161,6 +185,8 @@ void SendMux::State::sender_loop() {
     }
     if (recs->empty()) continue;
 
+    if (policy_cost > SimTime::zero()) sim->delay(policy_cost);
+
     net::Message m;
     m.bytes = total;
     m.tag = recs->front().conn;
@@ -170,6 +196,14 @@ void SendMux::State::sender_loop() {
     // Blocking send: fabric flow control (and, behind it, topology uplink
     // queueing) backpressures the whole mux, not a per-connection thread.
     l.pipe->send(std::move(m));
+
+    // Register-on-the-fly pins unpin only after the aggregate is on the
+    // wire; the unpin time bills to this sender process.
+    SimTime unpin_cost = SimTime::zero();
+    for (const auto& [buf, bytes] : pinned) {
+      unpin_cost = unpin_cost + policy->release(sim->now(), buf, bytes);
+    }
+    if (unpin_cost > SimTime::zero()) sim->delay(unpin_cost);
   }
   for (auto& [dst, l] : lanes) {
     if (l.pipe) l.pipe->close();

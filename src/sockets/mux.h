@@ -40,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "mem/copy_policy.h"
+#include "mem/payload.h"
 #include "net/calibration.h"
 #include "net/cluster.h"
 #include "net/fabric.h"
@@ -52,6 +54,12 @@ struct MuxRecord {
   std::uint64_t conn = 0;   ///< logical connection id (SendMux-assigned)
   std::uint64_t bytes = 0;  ///< application payload size
   SimTime enqueued{};       ///< when submit() queued it at the sender
+  /// Buffer-region id for the selective-copy policy (0 = anonymous).
+  std::uint64_t buffer = 0;
+  /// Optional pooled payload. Refcounted: when the record is dropped at a
+  /// full lane (or delivered and discarded), the last reference releases
+  /// the chunk back to its BufferPool — `mem.pool_reuse` must reconcile.
+  mem::Payload payload{};
 };
 
 struct SendMuxConfig {
@@ -67,6 +75,10 @@ struct SendMuxConfig {
   /// Flow-control window override for the underlying pipes (0 = profile
   /// default).
   std::uint64_t window_bytes = 0;
+  /// Selective-copy policy consulted per drained record in the sender
+  /// process (DESIGN.md §14). kStaticPool (default) = no consult, no
+  /// engine, digests unchanged.
+  mem::CopyPolicyConfig copy_policy{};
 };
 
 class SendMux {
@@ -96,6 +108,13 @@ class SendMux {
   /// open-loop generators must not be flow-controlled by the system under
   /// test.
   bool submit(std::uint64_t conn, std::uint64_t bytes);
+
+  /// As above, carrying a pooled payload and its buffer-region id for the
+  /// copy policy. A dropped record destroys its payload immediately, which
+  /// returns the chunk to its BufferPool (the refcount contract the
+  /// overflow tests pin down).
+  bool submit(std::uint64_t conn, std::uint64_t bytes, std::uint64_t buffer,
+              mem::Payload payload);
 
   /// Closes a logical connection; records already queued still deliver.
   void close_connection(std::uint64_t conn);
@@ -149,6 +168,8 @@ class SendMux {
     std::uint64_t next_conn = 0;
     /// conn id -> destination node; erased on close_connection.
     std::map<std::uint64_t, int> conn_dst;
+    /// Per-record copy-policy engine (null under the static-pool default).
+    std::unique_ptr<mem::CopyPolicy> policy;
 
     obs::Counter* c_submitted;
     obs::Counter* c_submitted_bytes;

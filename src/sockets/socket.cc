@@ -1,5 +1,7 @@
 #include "sockets/socket.h"
 
+#include <utility>
+
 #include "mem/ledger.h"
 #include "sim/simulation.h"
 
@@ -90,6 +92,23 @@ void SvSocket::set_copy_ablation(SimTime copy_fixed, PerByteCost copy_per_byte,
   copy_fixed_ = copy_fixed;
   copy_per_byte_ = copy_per_byte;
   copy_scale_pct_ = scale_pct;
+}
+
+void SvSocket::set_copy_policy(std::shared_ptr<mem::CopyPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+bool SvSocket::policy_acquire(std::uint64_t buffer_id, std::uint64_t bytes) {
+  if (policy_ == nullptr || sim_ == nullptr) return false;
+  const mem::CopyVerdict v = policy_->acquire(sim_->now(), buffer_id, bytes);
+  if (v.cpu_cost > SimTime::zero()) sim_->delay(v.cpu_cost);
+  return v.needs_release;
+}
+
+void SvSocket::policy_release(std::uint64_t buffer_id, std::uint64_t bytes) {
+  if (policy_ == nullptr || sim_ == nullptr) return;
+  const SimTime unpin = policy_->release(sim_->now(), buffer_id, bytes);
+  if (unpin > SimTime::zero()) sim_->delay(unpin);
 }
 
 void SvSocket::obs_span(SimTime start, std::string_view op,

@@ -24,6 +24,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "mem/copy_policy.h"
 #include "net/calibration.h"
 #include "net/fabric.h"
 #include "obs/hub.h"
@@ -94,6 +95,15 @@ class SvSocket {
   void set_copy_ablation(SimTime copy_fixed, PerByteCost copy_per_byte,
                          int scale_pct);
 
+  /// Installs the selective-copy policy consulted per outbound message on
+  /// zero-copy transports (DESIGN.md §14). Null (the default) is the legacy
+  /// static-pool path: no consult, no extra cost, digests unchanged. The
+  /// policy is shared per node so RegCache state is common to every socket
+  /// the node owns. Kernel TCP never consults it — TCP's two copies are
+  /// structural, not a choice.
+  void set_copy_policy(std::shared_ptr<mem::CopyPolicy> policy);
+  [[nodiscard]] bool has_copy_policy() const { return policy_ != nullptr; }
+
  protected:
   /// Binds this endpoint's counters into the simulation registry: per-socket
   /// `socket.*{socket=<label>.<serial>}`, aggregate `socket.*`, and per-link
@@ -119,6 +129,15 @@ class SvSocket {
   void obs_span(SimTime start, std::string_view op, std::uint64_t bytes);
   [[nodiscard]] SimTime obs_now() const;
 
+  /// Consults the installed copy policy (no-op returning false when none)
+  /// for an outbound message in region `buffer_id`: charges the verdict's
+  /// ledger entries and burns its cpu cost in the calling process. Returns
+  /// true when the caller owes a policy_release() after the send completes.
+  bool policy_acquire(std::uint64_t buffer_id, std::uint64_t bytes);
+  /// Releases a register-on-the-fly pin (charges unpin time). No-op when
+  /// no policy is installed or the verdict did not require release.
+  void policy_release(std::uint64_t buffer_id, std::uint64_t bytes);
+
  private:
   sim::Simulation* sim_ = nullptr;
   obs::Hub* hub_ = nullptr;
@@ -127,6 +146,7 @@ class SvSocket {
   SimTime copy_fixed_{};
   PerByteCost copy_per_byte_{};
   int copy_scale_pct_ = 0;
+  std::shared_ptr<mem::CopyPolicy> policy_;
   obs::Counter* c_msgs_sent_ = nullptr;
   obs::Counter* c_bytes_sent_ = nullptr;
   obs::Counter* c_msgs_recv_ = nullptr;

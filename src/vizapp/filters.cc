@@ -26,7 +26,9 @@ void RepoFilter::process(dc::FilterContext& ctx) {
       // Lease a pooled block and generate pixels straight into it; seal()
       // freezes it into an immutable payload that returns to the pool when
       // the last downstream view is released.
-      mem::PooledBuffer lease = pool_->acquire(bytes);
+      // Sanctioned source-side staging: the generator writes fresh pixels,
+      // so there is no application buffer for a CopyPolicy to avoid copying.
+      mem::PooledBuffer lease = pool_->acquire(bytes);  // svlint:allow(SV013)
       std::byte* dst = lease.data();
       for (std::uint64_t j = 0; j < bytes; ++j) {
         dst[j] = pixel(block, j);

@@ -1,0 +1,30 @@
+// SV013 fixture: direct registration / pool acquisition outside src/mem.
+#include "mem/buffer_pool.h"
+#include "via/via.h"
+
+void setup(sv::via::Nic& nic, sv::mem::BufferPool& staging) {
+  auto region = nic.register_memory(4096);        // finding: direct pin
+  sv::mem::PooledBuffer lease = staging.acquire(512);  // finding: typed pool
+  (void)region;
+  (void)lease;
+}
+
+struct Filter {
+  std::optional<sv::mem::BufferPool> pool_;
+  void run() {
+    auto lease = pool_->acquire(256);  // finding: pool-ish member receiver
+    (void)lease;
+  }
+  // Non-pool acquire() verbs must not trip: the sim layer's resources.
+  void wait(sv::sim::Resource* res, sv::mem::CopyPolicy* policy) {
+    res->acquire();
+    (void)policy->acquire(sv::SimTime::zero(), 1, 64);
+  }
+};
+
+// Sanctioned modeled-DMA setup: reported but suppressed.
+void dma_setup(sv::via::Nic& nic) {
+  // svlint:allow(SV013): modeled-DMA slot setup charges the ledger itself
+  auto slots = nic.register_memory(65536);
+  (void)slots;
+}

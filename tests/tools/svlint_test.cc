@@ -33,10 +33,10 @@ bool has(const std::vector<Finding>& fs, const std::string& rule, int line) {
   });
 }
 
-TEST(SvlintRules, RuleTableListsTwelveRules) {
-  ASSERT_EQ(rules().size(), 12u);
+TEST(SvlintRules, RuleTableListsThirteenRules) {
+  ASSERT_EQ(rules().size(), 13u);
   EXPECT_STREQ(rules().front().id, "SV001");
-  EXPECT_STREQ(rules().back().id, "SV012");
+  EXPECT_STREQ(rules().back().id, "SV013");
 }
 
 TEST(SvlintRules, Sv001CatchesUnorderedIteration) {
@@ -273,6 +273,36 @@ TEST(SvlintRules, Sv012InertWithoutAManifest) {
   // scan_fixture passes no project context; the rule must degrade to off
   // rather than flagging every metric in a tree without a manifest.
   EXPECT_TRUE(scan_fixture("src/net/metric_names.cc").empty());
+}
+
+TEST(SvlintRules, Sv013CatchesDirectRegistrationAndPoolAcquire) {
+  const auto fs = scan_fixture("src/sockets/pool_direct.cc");
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV013", 6)) << "nic.register_memory";
+  EXPECT_TRUE(has(live, "SV013", 7)) << "acquire on BufferPool-typed param";
+  EXPECT_TRUE(has(live, "SV013", 15)) << "acquire on pool-ish member";
+  EXPECT_EQ(live.size(), 3u)
+      << "Resource::acquire and CopyPolicy::acquire must not trip";
+  // The sanctioned modeled-DMA setup is reported but suppressed.
+  ASSERT_EQ(fs.size(), 4u);
+  EXPECT_TRUE(fs.back().suppressed);
+  EXPECT_EQ(fs.back().line, 28);
+}
+
+TEST(SvlintRules, Sv013ExemptsMemLayerAndNonSrcTrees) {
+  EXPECT_TRUE(
+      scan_source("src/mem/x.cc", "void f(P& p) { p.register_memory(4); }\n")
+          .empty())
+      << "src/mem implements the sanctioned registration path";
+  EXPECT_TRUE(
+      scan_source("bench/x.cc", "void f(N& n) { n.register_memory(4); }\n")
+          .empty())
+      << "benches model raw-VIA applications and stay out of scope";
+  EXPECT_FALSE(
+      unsuppressed(scan_source(
+                       "src/vizapp/x.cc",
+                       "void f(N& n) { auto r = n.register_memory(4); }\n"))
+          .empty());
 }
 
 TEST(SvlintRules, CollectMetricFamiliesFeedsTheOrphanCheck) {

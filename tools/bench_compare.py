@@ -20,6 +20,16 @@ regenerated, same policy as tests/integration/digest_pins.txt. Host
 throughput (events/sec) is gated by `--min-ratio` like sim_engine, plus the
 machine-independent invariant p99 >= p50.
 
+regcache — CI's mem job runs `ablation_regcache --quick` (the calibrated
+registration-cost subset). Per-policy simulated send-loop time, ledger
+counters (copies, registrations, regcache hits/misses/evictions), the
+trace digest, and each cell's winning policy are pure functions of
+(config, seed), so for every cell present in both files they must match
+EXACTLY. The fresh run must also preserve the crossover: each policy
+still wins at least one cell it won in the baseline's quick subset.
+Hit-rate is exact-derived (from hits/misses) while host events/sec is
+gated by `--min-ratio`.
+
 Usage: bench_compare.py --baseline BENCH_x.json --fresh fresh.json
 """
 
@@ -119,6 +129,79 @@ def compare_scale_sweep(baseline, fresh, min_ratio):
     return failures
 
 
+# Deterministic per-policy outputs inside a regcache cell: exact match
+# required. wall-clock fields (events_per_sec) are host-dependent and
+# ratio-gated instead.
+EXACT_POLICY_KEYS = ("send_loop_ns", "delivered", "copies", "copy_bytes",
+                     "registrations", "deregistrations", "regcache_hits",
+                     "regcache_misses", "regcache_evictions", "events_fired",
+                     "trace_digest")
+
+
+def compare_regcache(baseline, fresh, min_ratio):
+    base_cells = {c["name"]: c for c in baseline["cells"]}
+    fresh_cells = {c["name"]: c for c in fresh["cells"]}
+
+    failures = []
+    for name, got in sorted(fresh_cells.items()):
+        if name not in base_cells:
+            failures.append(
+                f"{name}: not in the baseline — regenerate "
+                f"BENCH_regcache.json with a full (non --quick) run")
+            continue
+        base = base_cells[name]
+        base_pols = {p["policy"]: p for p in base["policies"]}
+
+        status = "ok"
+        if got["winner"] != base["winner"]:
+            status = "DRIFTED"
+            failures.append(
+                f"{name}: winner changed {base['winner']} -> "
+                f"{got['winner']} — the policy crossover moved")
+        worst_ratio = None
+        for pol in got["policies"]:
+            pname = pol["policy"]
+            if pname not in base_pols:
+                failures.append(f"{name}/{pname}: missing from baseline")
+                continue
+            bpol = base_pols[pname]
+            drifted = [k for k in EXACT_POLICY_KEYS if bpol[k] != pol[k]]
+            if drifted:
+                status = "DRIFTED"
+                failures.append(
+                    f"{name}/{pname}: deterministic outputs drifted "
+                    f"({', '.join(drifted)}) — the policy bill changed; "
+                    f"regenerate the baseline only for understood changes")
+            base_rate = bpol["events_per_sec"]
+            ratio = pol["events_per_sec"] / base_rate if base_rate else 0.0
+            if worst_ratio is None or ratio < worst_ratio:
+                worst_ratio = ratio
+            if ratio < min_ratio:
+                status = "REGRESSED"
+                failures.append(
+                    f"{name}/{pname}: {pol['events_per_sec']:.0f} ev/s is "
+                    f"{ratio:.2f}x the baseline "
+                    f"{base_rate:.0f} ev/s (floor {min_ratio})")
+        print(f"{name:26s} winner {got['winner']:15s} "
+              f"worst ev/s ratio {worst_ratio or 0.0:4.2f}  {status}")
+
+    if not fresh_cells:
+        failures.append("fresh run contains no cells")
+    else:
+        # Machine-independent crossover invariant: on the cells both runs
+        # cover, every policy that won somewhere in the baseline subset
+        # must still win somewhere in the fresh run.
+        shared = [n for n in fresh_cells if n in base_cells]
+        base_winners = {base_cells[n]["winner"] for n in shared}
+        fresh_winners = {fresh_cells[n]["winner"] for n in shared}
+        for policy in sorted(base_winners - fresh_winners):
+            failures.append(
+                f"crossover lost: {policy} wins a baseline cell but no "
+                f"fresh cell")
+        print(f"crossover winners: {', '.join(sorted(fresh_winners))}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -140,6 +223,8 @@ def main():
         failures = compare_sim_engine(baseline, fresh, args.min_ratio)
     elif kind == "scale_sweep":
         failures = compare_scale_sweep(baseline, fresh, args.min_ratio)
+    elif kind == "regcache":
+        failures = compare_regcache(baseline, fresh, args.min_ratio)
     else:
         raise SystemExit(f"{args.baseline}: unknown bench kind {kind!r}")
 

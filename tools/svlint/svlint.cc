@@ -66,6 +66,12 @@ const std::vector<RuleInfo> kRules = {
      "metric name passed to the obs registry whose family is not declared "
      "in src/obs/metrics_manifest.txt: typo'd or orphaned counters corrupt "
      "dashboards and SLO controllers silently"},
+    {"SV013",
+     "direct memory registration or BufferPool acquisition "
+     "(register_memory(), BufferPool::acquire()) outside src/mem/: outbound "
+     "staging must route through mem::CopyPolicy so copies, pins and cache "
+     "hits are charged to the ledger (DESIGN.md §14); the sanctioned "
+     "modeled-DMA setup sites carry an explicit svlint:allow"},
 };
 
 // Directories whose output feeds deterministic event ordering: iterating an
@@ -133,6 +139,14 @@ bool thread_rule_applies(const std::string& rel_path) {
 
 bool metric_rule_applies(const std::string& rel_path) {
   return starts_with(rel_path, "src/") || starts_with(rel_path, "bench/");
+}
+
+bool pool_rule_applies(const std::string& rel_path) {
+  // src/mem owns the policy engine that decides copy-vs-pin per message;
+  // only it may touch registration or pool acquisition directly. Benches
+  // and examples model raw-VIA applications, so they stay out of scope.
+  if (starts_with(rel_path, "src/mem/")) return false;
+  return starts_with(rel_path, "src/");
 }
 
 // ---------------------------------------------------------------------------
@@ -739,6 +753,60 @@ void check_sv012(const std::string& rel_path, const Tokens& t,
   }
 }
 
+// ---------------------------------------------------------------------------
+// SV013: memory registration / pool acquisition outside the mem layer
+// ---------------------------------------------------------------------------
+
+// Names declared with a BufferPool type in this file ("mem::BufferPool p",
+// "std::optional<mem::BufferPool> pool_", "BufferPool* p"). The nested-name
+// case ("BufferPool::Options") is not a declaration and must not collect.
+std::set<std::string> collect_buffer_pool_names(const Tokens& t) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!I(t, i, "BufferPool")) continue;
+    std::size_t j = i + 1;
+    while (punct_any(t, j, {"&", "*", ">"})) ++j;
+    if (is_ident(t, j) && t[j].text != "const") names.insert(t[j].text);
+  }
+  return names;
+}
+
+void check_sv013(const std::string& rel_path, const Tokens& t,
+                 std::vector<Finding>* out) {
+  if (!pool_rule_applies(rel_path)) return;
+  const std::set<std::string> pools = collect_buffer_pool_names(t);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!punct_any(t, i, {".", "->"})) continue;
+    // (a) any member register_memory() call: pinning is the policy
+    // engine's decision, wherever the NIC handle came from.
+    if (I(t, i + 1, "register_memory") && P(t, i + 2, "(")) {
+      add(out, rel_path, t[i + 1].line, "SV013",
+          "direct register_memory() outside src/mem/; registration must go "
+          "through mem::CopyPolicy/RegCache so the pin is charged to the "
+          "ledger");
+      continue;
+    }
+    // (b) acquire() on a BufferPool receiver. acquire() is a common verb
+    // (sim::Resource, Semaphore, EventArena, CopyPolicy), so the receiver
+    // must be declared BufferPool in this file or carry a pool-ish name.
+    if (!I(t, i + 1, "acquire") || !P(t, i + 2, "(")) continue;
+    if (!is_ident(t, i - 1)) continue;
+    const std::string& recv = t[i - 1].text;
+    std::string lower;
+    for (char c : recv) {
+      lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (pools.count(recv) == 0 && lower.find("pool") == std::string::npos) {
+      continue;
+    }
+    add(out, rel_path, t[i + 1].line, "SV013",
+        "BufferPool::acquire on '" + recv +
+            "' outside src/mem/; stage outbound payloads through "
+            "mem::CopyPolicy so the copy-vs-pin decision is modeled and "
+            "charged");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() { return kRules; }
@@ -774,6 +842,7 @@ std::vector<Finding> scan_lexed(const std::string& rel_path,
   check_sv010(rel_path, t, &findings);
   check_sv011(rel_path, lx, &findings);
   check_sv012(rel_path, t, ctx, &findings);
+  check_sv013(rel_path, t, &findings);
 
   // Apply suppressions (an allow on the finding's line or the line above)
   // and attach the offending source line as the report snippet.
