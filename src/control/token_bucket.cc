@@ -1,0 +1,42 @@
+#include "control/token_bucket.h"
+
+#include "common/check.h"
+
+namespace sv::control {
+
+namespace {
+constexpr std::uint64_t kNsPerSec = 1'000'000'000ULL;
+}  // namespace
+
+TokenBucket::TokenBucket(std::uint64_t rate_per_sec, std::uint64_t burst)
+    : rate_(rate_per_sec), burst_(burst), tokens_(burst) {
+  SV_ASSERT(burst_ > 0, "TokenBucket: burst must be positive");
+}
+
+void TokenBucket::set_rate(std::uint64_t rate_per_sec) {
+  rate_ = rate_per_sec;
+  carry_ = 0;
+}
+
+void TokenBucket::refill(SimTime now) {
+  SV_ASSERT(now >= last_, "TokenBucket: time went backwards");
+  const auto elapsed_ns = static_cast<std::uint64_t>((now - last_).ns());
+  last_ = now;
+  if (elapsed_ns == 0 || rate_ == 0) return;
+  const std::uint64_t total = rate_ * elapsed_ns + carry_;
+  const std::uint64_t add = total / kNsPerSec;
+  carry_ = total % kNsPerSec;
+  tokens_ = tokens_ + add > burst_ || tokens_ + add < tokens_
+                ? burst_
+                : tokens_ + add;
+  if (tokens_ == burst_) carry_ = 0;  // a full bucket holds no remainder
+}
+
+bool TokenBucket::try_take(SimTime now) {
+  refill(now);
+  if (tokens_ == 0) return false;
+  --tokens_;
+  return true;
+}
+
+}  // namespace sv::control

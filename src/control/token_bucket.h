@@ -1,0 +1,49 @@
+// Deterministic token bucket for admission control (DESIGN.md §15).
+//
+// Refill is integer-only: tokens accrue at `rate_per_sec` per simulated
+// second with a nanosecond-remainder carry, so the token level at any sim
+// time is an exact function of (rate history, take history) — no floating
+// point, no wall clock. Two replays that present the same sequence of
+// (try_take time, set_rate) calls see bit-identical verdicts, which is
+// what lets the SLO controller's admission decisions live inside the
+// replayed event schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace sv::control {
+
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per simulated second, capped at `burst`
+  /// tokens. Starts full.
+  TokenBucket(std::uint64_t rate_per_sec, std::uint64_t burst);
+
+  /// Changes the refill rate. The current token level is kept; the
+  /// sub-token remainder carry resets so the change itself is a pure
+  /// function of the call point.
+  void set_rate(std::uint64_t rate_per_sec);
+
+  /// Refills up to `now`, then takes one token. False = throttled.
+  /// Call times must be non-decreasing (sim-time discipline).
+  bool try_take(SimTime now);
+
+  [[nodiscard]] std::uint64_t rate_per_sec() const { return rate_; }
+  [[nodiscard]] std::uint64_t burst() const { return burst_; }
+  /// Token level as of the last try_take()/set_rate().
+  [[nodiscard]] std::uint64_t tokens() const { return tokens_; }
+
+ private:
+  void refill(SimTime now);
+
+  std::uint64_t rate_;
+  std::uint64_t burst_;
+  std::uint64_t tokens_;
+  SimTime last_{};
+  /// rate * elapsed_ns remainder modulo 1e9, carried between refills.
+  std::uint64_t carry_ = 0;
+};
+
+}  // namespace sv::control

@@ -7,10 +7,17 @@ void add_obs_flags(CliParser& cli, ObsArtifacts* out) {
                  "write Chrome trace_event JSON of the (last) run here");
   cli.add_string("metrics-out", &out->metrics_path,
                  "write the metrics registry snapshot (JSON) here");
+  cli.add_int("metrics-every", &out->metrics_every_ms,
+              "also write numbered mid-run snapshots <metrics-out>.NNNN "
+              "every this many simulated ms (0 = off)");
 }
 
 void begin_obs(sim::Simulation& sim, const ObsArtifacts& artifacts) {
   obs::begin_artifacts(sim.obs(), artifacts);
+  if (artifacts.want_live_metrics() && !sim.metrics_pump_active()) {
+    sim.publish_metrics_every(
+        SimTime::milliseconds(artifacts.metrics_every_ms));
+  }
 }
 
 void export_obs(sim::Simulation& sim, const ObsArtifacts& artifacts) {

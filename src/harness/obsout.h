@@ -18,12 +18,16 @@ namespace sv::harness {
 /// "don't write".
 using ObsArtifacts = obs::Artifacts;
 
-/// Registers `--trace-out` / `--metrics-out` on a bench's parser. Benches
-/// that sweep several configurations export the last swept run.
+/// Registers `--trace-out` / `--metrics-out` / `--metrics-every` on a
+/// bench's parser. Benches that sweep several configurations export the
+/// last swept run.
 void add_obs_flags(CliParser& cli, ObsArtifacts* out);
 
-/// Turns the tracer on for `sim` when a trace artifact was requested. Call
-/// after constructing the Simulation, before traffic starts.
+/// Turns the tracer on for `sim` when a trace artifact was requested, and
+/// starts the sim-time snapshot pump when `--metrics-every` asked for live
+/// mid-run snapshots (numbered `<metrics-out>.NNNN` files; byte-identical
+/// across same-seed replays). Call after constructing the Simulation,
+/// before traffic starts.
 void begin_obs(sim::Simulation& sim, const ObsArtifacts& artifacts);
 
 /// Writes the requested artifacts from `sim`'s hub; throws std::runtime_error

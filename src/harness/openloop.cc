@@ -114,7 +114,34 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg) {
   std::uint64_t offered = 0;
   std::uint64_t delivered = 0;
   std::uint64_t drops = 0;
+  std::uint64_t throttled = 0;
   Samples latency;
+
+  // --- SLO control plane (DESIGN.md §15) -------------------------------
+  // All of this is inert when cfg.slo is null: no extra metrics, no pump,
+  // no extra RNG draws — the historical schedule, digest pins untouched.
+  const bool slo_on = cfg.slo != nullptr;
+  obs::Counter* c_offered = nullptr;
+  obs::Counter* c_throttled = nullptr;
+  // Per-destination windowed-latency histograms the controller watches.
+  // Bounds are finer than the registry's decade default so p99-vs-target
+  // comparisons resolve around millisecond-scale SLOs.
+  std::vector<obs::Histogram*> lat_hist;
+  if (slo_on) {
+    obs::Registry& reg = s.obs().registry;
+    c_offered = &reg.counter("slo.offered");
+    c_throttled = &reg.counter("slo.throttled");
+    const std::vector<std::int64_t> slo_bounds = {
+        250'000,    500'000,    1'000'000,   2'000'000,  3'000'000,
+        4'000'000,  5'000'000,  7'500'000,   10'000'000, 15'000'000,
+        20'000'000, 30'000'000, 50'000'000,  100'000'000};
+    lat_hist.resize(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+      lat_hist[static_cast<std::size_t>(n)] = &reg.histogram(
+          "slo.update_latency_ns{node=node" + std::to_string(n) + "}",
+          slo_bounds);
+    }
+  }
 
   sockets::SendMuxConfig mux_cfg = cfg.mux;
   mux_cfg.transport = cfg.transport;
@@ -123,10 +150,14 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg) {
   for (int n = 0; n < nodes; ++n) {
     muxes.push_back(std::make_unique<sockets::SendMux>(
         &s, &cluster, n, mux_cfg,
-        [&s, &delivered, &latency](int, const sockets::MuxRecord& rec,
-                                   SimTime at) {
+        [&s, &delivered, &latency, &lat_hist, slo_on](
+            int dst, const sockets::MuxRecord& rec, SimTime at) {
           ++delivered;
-          latency.add(at - rec.enqueued);
+          const SimTime l = at - rec.enqueued;
+          latency.add(l);
+          if (slo_on) {
+            lat_hist[static_cast<std::size_t>(dst)]->observe(l.ns());
+          }
         }));
   }
 
@@ -147,6 +178,84 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg) {
     if (incast && n != cfg.hot_node) {
       hot_conns[un] = muxes[un]->open_connection(cfg.hot_node);
     }
+  }
+
+  // Workload mix: cumulative integer weights for the per-arrival class
+  // pick. Empty classes = the implicit single class, picked without an
+  // RNG draw (historical stream).
+  const bool has_classes = !cfg.classes.empty();
+  std::vector<std::uint64_t> cum_weight;
+  std::uint64_t weight_sum = 0;
+  for (const QueryClass& qc : cfg.classes) {
+    SV_ASSERT(qc.weight > 0, "run_open_loop: class weight must be positive");
+    weight_sum += static_cast<std::uint64_t>(qc.weight);
+    cum_weight.push_back(weight_sum);
+  }
+
+  // Controller state shared with the generators. `demoted` re-routes the
+  // steady fanout away from degraded replicas; `chunk_bytes` is the live
+  // DR chunk size (0 = chunk actuator disabled, submit whole updates).
+  std::vector<char> demoted(static_cast<std::size_t>(nodes), 0);
+  std::uint64_t chunk_bytes = 0;
+  std::unique_ptr<control::AdmissionControl> admission;
+  std::unique_ptr<control::Controller> controller;
+  if (slo_on) {
+    // Admission buckets sized at each class's expected share of the
+    // cluster-wide offered rate, plus headroom: at full admission the
+    // buckets refill faster than arrivals drain them.
+    std::vector<control::AdmissionControl::ClassSpec> specs;
+    const double total_rate =
+        cfg.arrivals.peak_rate_per_sec() * static_cast<double>(nodes);
+    const auto scaled_rate = [&](int weight) {
+      const double share = has_classes
+                               ? static_cast<double>(weight) /
+                                     static_cast<double>(weight_sum)
+                               : 1.0;
+      const double r = total_rate * share *
+                       static_cast<double>(cfg.slo->admission_headroom_pct) /
+                       100.0;
+      return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(r));
+    };
+    if (has_classes) {
+      for (const QueryClass& qc : cfg.classes) {
+        specs.push_back({qc.name, scaled_rate(qc.weight),
+                         cfg.slo->bucket_burst, qc.sheddable});
+      }
+    } else {
+      specs.push_back(
+          {"default", scaled_rate(1), cfg.slo->bucket_burst, true});
+    }
+    admission = std::make_unique<control::AdmissionControl>(std::move(specs));
+
+    chunk_bytes = cfg.slo->controller.chunk_max_bytes;
+    control::Actuators acts;
+    acts.admission = admission.get();
+    acts.apply_chunk_bytes = [&chunk_bytes](std::uint64_t b) {
+      chunk_bytes = b;
+    };
+    acts.apply_demotion = [&muxes, &demoted, nodes](int node) {
+      // Quiesce the degraded replica in both directions: flag it so the
+      // generators re-route new updates (and shed its own arrivals),
+      // discard every stale queued update headed toward it AND the
+      // backlog its stalled sender can no longer ship, and release its
+      // pin-down cache (mem.regcache_evictions reconciles).
+      demoted[static_cast<std::size_t>(node)] = 1;
+      for (auto& m : muxes) m->flush_lane(node);
+      for (int d = 0; d < nodes; ++d) {
+        muxes[static_cast<std::size_t>(node)]->flush_lane(d);
+      }
+      muxes[static_cast<std::size_t>(node)]->flush_registrations();
+    };
+    acts.apply_promotion = [&demoted](int node) {
+      demoted[static_cast<std::size_t>(node)] = 0;
+    };
+    controller = std::make_unique<control::Controller>(
+        &s.obs(), cfg.slo->controller, std::move(acts));
+    for (int n = 0; n < nodes; ++n) controller->watch_node(n);
+    s.obs().attach(controller.get());
+    // Decision cadence: ride an existing --metrics-every pump, else run
+    // our own at the controller window.
+    if (!s.metrics_pump_active()) s.publish_metrics_every(cfg.slo->window);
   }
 
   // Clients spread evenly: node n models clients_of(n) logical clients;
@@ -179,15 +288,72 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg) {
         s.delay(t - s.now());
         ++offered;
         const std::uint64_t client = pick.next_below(population);
+
+        // Class pick by cumulative weight (extra draw only with a mix).
+        std::size_t cls = 0;
+        std::uint64_t bytes = cfg.update_bytes;
+        if (has_classes) {
+          const std::uint64_t w = pick.next_below(weight_sum);
+          while (cum_weight[cls] <= w) ++cls;
+          bytes = cfg.classes[cls].update_bytes;
+        }
+        if (slo_on) c_offered->inc();
+
+        // A demoted node is out of the replication set in both directions:
+        // its own updates are shed too (its sender path is what degraded),
+        // not queued behind a dead tx path to deliver stale later.
+        if (slo_on && demoted[un] != 0) {
+          ++throttled;
+          c_throttled->inc();
+          continue;
+        }
+
+        // Admission gate: a throttled arrival is shed at the generator —
+        // it never reaches a mux queue (graceful degradation, not
+        // open-loop queue collapse).
+        if (admission != nullptr && !admission->admit(cls, s.now())) {
+          ++throttled;
+          c_throttled->inc();
+          continue;
+        }
+
         std::uint64_t conn;
-        if (incast && n != cfg.hot_node &&
-            pick.bernoulli(cfg.incast_fraction)) {
+        bool to_hot =
+            incast && n != cfg.hot_node && pick.bernoulli(cfg.incast_fraction);
+        if (to_hot && slo_on && demoted[static_cast<std::size_t>(
+                                    cfg.hot_node)] != 0) {
+          to_hot = false;  // hot replica demoted: fall back to the fanout
+        }
+        if (to_hot) {
           conn = hot_conns[un];
         } else {
-          conn = conns[un][static_cast<std::size_t>(client) %
-                           conns[un].size()];
+          std::size_t j =
+              static_cast<std::size_t>(client) % conns[un].size();
+          if (slo_on) {
+            // Deterministic re-route: first non-demoted destination
+            // scanning forward from the client's home slot. All demoted
+            // (can't happen under max_demoted < fanout) keeps the slot.
+            for (std::size_t k = 0; k < conn_dsts[un].size(); ++k) {
+              const std::size_t cand = (j + k) % conn_dsts[un].size();
+              if (demoted[static_cast<std::size_t>(conn_dsts[un][cand])] ==
+                  0) {
+                j = cand;
+                break;
+              }
+            }
+          }
+          conn = conns[un][j];
         }
-        if (!muxes[un]->submit(conn, cfg.update_bytes)) ++drops;
+
+        // Chunked submit: the DR chunk knob (paper §5) made adaptive —
+        // the controller shrinks chunk_bytes under violation so each
+        // update pipelines through the fabric in smaller frames.
+        const std::uint64_t chunk =
+            chunk_bytes > 0 && chunk_bytes < bytes ? chunk_bytes : bytes;
+        for (std::uint64_t off = 0; off < bytes; off += chunk) {
+          const std::uint64_t piece = std::min(chunk, bytes - off);
+          if (!muxes[un]->submit(conn, piece)) ++drops;
+        }
       }
       done.send(n);
     });
@@ -220,6 +386,7 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg) {
   });
 
   s.run();
+  if (controller != nullptr) s.obs().detach(controller.get());
   export_obs(s, cfg.obs);
 
   res.offered = offered;
@@ -229,6 +396,19 @@ OpenLoopResult run_open_loop(const OpenLoopConfig& cfg) {
   res.events_fired = s.events_fired();
   res.trace_digest = s.engine().trace_digest();
   res.end_time = s.now();
+  res.throttled = throttled;
+  if (controller != nullptr) {
+    res.slo_action_log = controller->action_log();
+    res.slo_actions = controller->actions().size();
+    for (const auto& a : controller->actions()) {
+      using Kind = control::Controller::Action::Kind;
+      if (a.kind == Kind::kDemote) ++res.slo_demotions;
+      if (a.kind == Kind::kPromote) ++res.slo_promotions;
+    }
+    res.final_admit_permille = controller->admit_permille();
+    res.final_chunk_bytes = controller->chunk_bytes();
+    res.final_cluster_p99_ns = controller->last_cluster_p99_ns();
+  }
   return res;
 }
 

@@ -34,6 +34,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "control/slo.h"
 #include "harness/obsout.h"
 #include "net/calibration.h"
 #include "net/fault.h"
@@ -114,6 +115,30 @@ class ArrivalProcess {
   SimTime state_until_{};
 };
 
+/// One query class of the workload mix (the paper's interactive queries vs
+/// bulk update traffic). Arrivals pick a class by weight; the SLO
+/// controller's admission actuator throttles only the sheddable classes.
+struct QueryClass {
+  std::string name = "default";
+  /// Relative share of arrivals (picked by integer weight, one extra RNG
+  /// draw per arrival — configs without classes draw exactly as before).
+  int weight = 1;
+  std::uint64_t update_bytes = 1024;
+  bool sheddable = true;
+};
+
+/// Closed-loop SLO control for an open-loop run (DESIGN.md §15).
+struct SloControlConfig {
+  control::ControllerConfig controller{};
+  /// Snapshot/decision window (sim time). When `--metrics-every` already
+  /// runs a pump, the controller rides that cadence instead.
+  SimTime window = SimTime::milliseconds(5);
+  /// Admission buckets are sized at the expected per-class offered rate
+  /// times this headroom, so full admission (1000‰) never throttles.
+  int admission_headroom_pct = 120;
+  std::uint64_t bucket_burst = 64;
+};
+
 /// Configuration for a full open-loop scale run.
 struct OpenLoopConfig {
   net::Transport transport = net::Transport::kSocketVia;
@@ -147,6 +172,14 @@ struct OpenLoopConfig {
   SimTime duration = SimTime::milliseconds(200);
   /// Mux tuning (transport is overridden from `transport` above).
   sockets::SendMuxConfig mux{};
+
+  /// Workload mix. Empty = one implicit class of `update_bytes`,
+  /// sheddable, with zero extra RNG draws — the historical arrival stream,
+  /// so every pre-existing digest pin is untouched.
+  std::vector<QueryClass> classes;
+  /// Install the SLO control plane (null = uncontrolled; the default, and
+  /// the digest-pinned historical behavior).
+  const SloControlConfig* slo = nullptr;
 };
 
 struct OpenLoopResult {
@@ -162,6 +195,19 @@ struct OpenLoopResult {
   std::uint64_t events_fired = 0;
   std::uint64_t trace_digest = 0;
   SimTime end_time{};
+
+  // --- populated only when cfg.slo was installed ---
+  /// Arrivals rejected by admission control (shed, never submitted).
+  std::uint64_t throttled = 0;
+  /// Controller decisions, in order (`<ns> <kind> <node> <value>` lines);
+  /// byte-compare this to prove two runs made identical decisions.
+  std::string slo_action_log;
+  std::uint64_t slo_actions = 0;
+  std::uint64_t slo_demotions = 0;
+  std::uint64_t slo_promotions = 0;
+  std::uint32_t final_admit_permille = 1000;
+  std::uint64_t final_chunk_bytes = 0;
+  std::int64_t final_cluster_p99_ns = 0;
 };
 
 [[nodiscard]] OpenLoopResult run_open_loop(const OpenLoopConfig& cfg);

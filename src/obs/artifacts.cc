@@ -1,9 +1,11 @@
 #include "obs/artifacts.h"
 
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 namespace sv::obs {
 namespace {
@@ -24,8 +26,23 @@ void write_file(const std::string& path, const std::string& what,
 
 }  // namespace
 
+SnapshotFileWriter::SnapshotFileWriter(std::string base_path)
+    : base_path_(std::move(base_path)) {}
+
+void SnapshotFileWriter::on_snapshot(const Snapshot& snap) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%04llu",
+                static_cast<unsigned long long>(snap.seq));
+  write_file(base_path_ + suffix, "metrics snapshot", [&](std::ostream& os) {
+    snap.registry->write_json(os);
+  });
+}
+
 void begin_artifacts(Hub& hub, const Artifacts& artifacts) {
   if (artifacts.want_trace()) hub.tracer.enable();
+  if (artifacts.want_live_metrics()) {
+    hub.adopt(std::make_unique<SnapshotFileWriter>(artifacts.metrics_path));
+  }
 }
 
 void export_artifacts(const Hub& hub, const Artifacts& artifacts) {

@@ -1,8 +1,18 @@
 // The per-simulation observability bundle: one Tracer + one Registry,
-// owned by sim::Engine and reachable as `sim.obs()` from any layer.
+// owned by sim::Engine and reachable as `sim.obs()` from any layer — plus
+// the live-snapshot attach point (DESIGN.md §15). Sinks attached here
+// receive a Snapshot at every publish; with no sinks and no publisher the
+// hub behaves exactly as it always did (post-mortem only), so detached
+// runs stay bit-identical.
 #pragma once
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 
 namespace sv::obs {
@@ -10,6 +20,45 @@ namespace sv::obs {
 struct Hub {
   Tracer tracer;
   Registry registry;
+
+  /// Attaches a snapshot consumer (not owned; detach before it dies).
+  /// Sinks are notified in attach order — part of the determinism
+  /// contract, since a sink may be a controller whose actions feed back
+  /// into the schedule.
+  void attach(SnapshotSink* sink) { sinks_.push_back(sink); }
+
+  /// Detaches a previously attached sink; no-op if absent.
+  void detach(SnapshotSink* sink) {
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+                 sinks_.end());
+  }
+
+  /// Attaches a sink the hub owns for the rest of the run (file writers
+  /// the harness fire-and-forgets).
+  void adopt(std::unique_ptr<SnapshotSink> sink) {
+    attach(sink.get());
+    owned_sinks_.push_back(std::move(sink));
+  }
+
+  [[nodiscard]] bool has_sinks() const { return !sinks_.empty(); }
+  [[nodiscard]] std::uint64_t snapshots_published() const {
+    return publish_seq_;
+  }
+
+  /// Publishes one snapshot of the registry to every attached sink, in
+  /// attach order. Called from the sim-time pump
+  /// (sim::Simulation::publish_metrics_every); a publish with no sinks
+  /// still advances the sequence so numbered artifacts stay aligned with
+  /// the pump schedule.
+  void publish(SimTime at) {
+    const Snapshot snap{at, publish_seq_++, &registry};
+    for (SnapshotSink* sink : sinks_) sink->on_snapshot(snap);
+  }
+
+ private:
+  std::vector<SnapshotSink*> sinks_;
+  std::vector<std::unique_ptr<SnapshotSink>> owned_sinks_;
+  std::uint64_t publish_seq_ = 0;
 };
 
 }  // namespace sv::obs

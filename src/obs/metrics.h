@@ -49,6 +49,17 @@ class Gauge {
   [[nodiscard]] std::int64_t value() const { return value_; }
   [[nodiscard]] std::int64_t max_value() const { return max_; }
 
+  /// Returns the high-water mark, then re-arms it to the current level so
+  /// the next window reports its own peak. Without the re-arm a windowed
+  /// view would report the all-time maximum forever (the bug live
+  /// snapshots exposed): one early burst would pin every later window's
+  /// "peak" at the burst value.
+  std::int64_t read_and_rearm_max() {
+    const std::int64_t peak = max_;
+    max_ = value_;
+    return peak;
+  }
+
  private:
   std::int64_t value_ = 0;
   std::int64_t max_ = 0;

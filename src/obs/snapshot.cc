@@ -1,0 +1,83 @@
+#include "obs/snapshot.h"
+
+#include "common/check.h"
+
+namespace sv::obs {
+
+void HistogramWindow::bind(const Histogram* hist) {
+  hist_ = hist;
+  count_ = 0;
+  sum_ = 0;
+  if (hist_ == nullptr) {
+    bounds_.clear();
+    last_buckets_.clear();
+    deltas_.clear();
+    last_count_ = 0;
+    last_sum_ = 0;
+    return;
+  }
+  bounds_ = hist_->bounds();
+  last_buckets_ = hist_->buckets();
+  deltas_.assign(last_buckets_.size(), 0);
+  last_count_ = hist_->count();
+  last_sum_ = hist_->sum();
+}
+
+std::uint64_t HistogramWindow::advance() {
+  if (hist_ == nullptr) {
+    count_ = 0;
+    sum_ = 0;
+    return 0;
+  }
+  const std::vector<std::uint64_t>& now = hist_->buckets();
+  SV_ASSERT(now.size() == last_buckets_.size(),
+            "HistogramWindow: histogram bucket count changed under a window");
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    deltas_[i] = now[i] - last_buckets_[i];
+    last_buckets_[i] = now[i];
+  }
+  count_ = hist_->count() - last_count_;
+  sum_ = hist_->sum() - last_sum_;
+  last_count_ = hist_->count();
+  last_sum_ = hist_->sum();
+  return count_;
+}
+
+std::int64_t HistogramWindow::percentile(int q) const {
+  SV_ASSERT(q >= 0 && q <= 100, "HistogramWindow::percentile: q in [0,100]");
+  if (count_ == 0) return 0;
+  // Nearest-rank: the smallest bucket whose cumulative delta covers
+  // ceil(q/100 * count) samples. Integer arithmetic throughout.
+  const std::uint64_t rank =
+      (count_ * static_cast<std::uint64_t>(q) + 99) / 100;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < deltas_.size(); ++i) {
+    cum += deltas_[i];
+    if (cum >= rank) {
+      if (i < bounds_.size()) return bounds_[i];
+      // Overflow bucket: report past the scale, pessimistically.
+      return bounds_.empty() ? 0 : bounds_.back() * 2;
+    }
+  }
+  return bounds_.empty() ? 0 : bounds_.back() * 2;
+}
+
+void HistogramWindow::merge(const HistogramWindow& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 && deltas_.size() != other.deltas_.size()) {
+    bounds_ = other.bounds_;
+    deltas_ = other.deltas_;
+    count_ = other.count_;
+    sum_ = other.sum_;
+    return;
+  }
+  SV_ASSERT(deltas_.size() == other.deltas_.size() && bounds_ == other.bounds_,
+            "HistogramWindow::merge: mismatched bucket bounds");
+  for (std::size_t i = 0; i < deltas_.size(); ++i) {
+    deltas_[i] += other.deltas_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace sv::obs

@@ -1,0 +1,135 @@
+// Live metric snapshots (DESIGN.md §15).
+//
+// The registry was post-mortem: metrics accumulated silently and were
+// serialised once at exit. Following the Open MPI SPC design (attachable
+// performance counters, periodic snapshots, external-tool access), this
+// header makes the registry observable *during* a run:
+//
+//   SnapshotSink   the attach/detach interface. A sink receives a Snapshot
+//                  (sim time + publish sequence + registry pointer) at
+//                  every publish. Sinks must be passive observers OR
+//                  deterministic controllers — they run inside the
+//                  simulation's event loop, so anything they do is part of
+//                  the replayed schedule.
+//   CounterWindow  delta view over one counter: how much it moved since
+//                  the previous publish (rate = delta / window).
+//   HistogramWindow delta view over one histogram's buckets, with p50/p99
+//                  estimated from the *window's* bucket deltas — not the
+//                  run-to-date distribution, which an SLO controller must
+//                  not average against.
+//
+// Zero cost when detached: Hub::publish() is only ever scheduled when a
+// consumer asked for it (sim::Simulation::publish_metrics_every), and a
+// publish with no sinks is a no-op. A run with no snapshot consumer
+// executes the exact event schedule it always did, so every pre-existing
+// digest pin stays bit-identical.
+//
+// Determinism: windows are pure functions of the counter values at publish
+// times, publish times are sim-time driven, and quantile estimation is
+// integer-only (bucket upper bounds), so two same-seed runs see identical
+// window sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace sv::obs {
+
+/// One published point-in-time view of the registry.
+struct Snapshot {
+  /// Simulated time of the publish (never wall clock).
+  SimTime at{};
+  /// 0-based publish index within the run.
+  std::uint64_t seq = 0;
+  /// The live registry; valid only for the duration of on_snapshot().
+  const Registry* registry = nullptr;
+};
+
+/// Attachable snapshot consumer (file writer, SLO controller, test probe).
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+  virtual void on_snapshot(const Snapshot& snap) = 0;
+};
+
+/// Windowed delta view over one counter. Binding is lazy: a controller can
+/// watch a name before the metric exists; advance() reports 0 until the
+/// counter appears (rebind() re-resolves).
+class CounterWindow {
+ public:
+  CounterWindow() = default;
+
+  /// Points the window at `counter` (may be null). The first advance()
+  /// after a bind reports the delta from the bind-time value.
+  void bind(const Counter* counter) {
+    counter_ = counter;
+    last_ = counter_ != nullptr ? counter_->value() : 0;
+  }
+  [[nodiscard]] bool bound() const { return counter_ != nullptr; }
+
+  /// Delta since the previous advance() (or bind()).
+  std::uint64_t advance() {
+    if (counter_ == nullptr) return 0;
+    const std::uint64_t v = counter_->value();
+    const std::uint64_t delta = v - last_;
+    last_ = v;
+    return delta;
+  }
+
+ private:
+  const Counter* counter_ = nullptr;
+  std::uint64_t last_ = 0;
+};
+
+/// Windowed delta view over one histogram: per-window sample count, sum
+/// and integer quantile estimates from the bucket deltas.
+class HistogramWindow {
+ public:
+  HistogramWindow() = default;
+
+  void bind(const Histogram* hist);
+  [[nodiscard]] bool bound() const { return hist_ != nullptr; }
+
+  /// Captures the deltas since the previous advance(); returns the number
+  /// of new observations in the window.
+  std::uint64_t advance();
+
+  /// Observations in the last captured window.
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Sum of observations in the last captured window.
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  /// Bucket deltas of the last captured window (bounds().size() + 1
+  /// entries; the last is the overflow bucket).
+  [[nodiscard]] const std::vector<std::uint64_t>& deltas() const {
+    return deltas_;
+  }
+
+  /// Quantile estimate from the window's bucket deltas: the upper bound of
+  /// the bucket containing the q-th percentile sample (nearest-rank over
+  /// buckets; integer-only, so replays agree bit-for-bit). The overflow
+  /// bucket reports 2x the largest finite bound — deliberately pessimistic
+  /// so an SLO comparison treats off-scale latency as a violation. Returns
+  /// 0 when the window saw no samples.
+  [[nodiscard]] std::int64_t percentile(int q) const;
+
+  /// Merges another window's deltas into this one (cluster-level quantiles
+  /// from per-node histograms). Bounds must match; empty windows merge
+  /// into anything.
+  void merge(const HistogramWindow& other);
+
+ private:
+  const Histogram* hist_ = nullptr;
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> last_buckets_;
+  std::vector<std::uint64_t> deltas_;
+  std::uint64_t last_count_ = 0;
+  std::int64_t last_sum_ = 0;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+}  // namespace sv::obs

@@ -125,6 +125,31 @@ void Simulation::run_until(SimTime t) {
   engine_.run_until(t);
 }
 
+void Simulation::publish_metrics_every(SimTime period) {
+  SV_ASSERT(period > SimTime::zero(),
+            "publish_metrics_every: period must be positive");
+  SV_ASSERT(!pump_active_,
+            "publish_metrics_every: a snapshot pump is already installed");
+  pump_active_ = true;
+  engine_.schedule(period, [this, period] { pump_snapshot(period); });
+}
+
+void Simulation::pump_snapshot(SimTime period) {
+  obs::Hub& hub = engine_.obs();
+  hub.registry.counter("obs.snapshots").inc();
+  hub.tracer.instant(now(), /*node=*/-1, "obs", "snapshot",
+                     hub.snapshots_published());
+  hub.publish(now());
+  // Reschedule only while other work remains: when the pump is the only
+  // pending event the run is over, and a self-perpetuating tick would keep
+  // run() (which drains the queue) from ever returning.
+  if (engine_.pending() > 0) {
+    engine_.schedule(period, [this, period] { pump_snapshot(period); });
+  } else {
+    pump_active_ = false;
+  }
+}
+
 std::size_t Simulation::live_process_count() const {
   std::size_t n = 0;
   for (const auto& p : processes_) {

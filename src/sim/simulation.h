@@ -65,6 +65,16 @@ class Simulation {
   /// Observability bundle (tracer + metrics registry); see DESIGN.md §9.
   [[nodiscard]] obs::Hub& obs() { return engine_.obs(); }
 
+  /// Starts the live-snapshot pump (DESIGN.md §15): every `period` of
+  /// simulated time, obs().publish() delivers a registry snapshot to the
+  /// attached sinks. The pump stops itself once it is the only pending
+  /// event, so run() (which runs until the queue drains) still
+  /// terminates; never installed unless a consumer asks, so runs without
+  /// live snapshots keep their historical event schedule and digests.
+  /// At most one pump per simulation.
+  void publish_metrics_every(SimTime period);
+  [[nodiscard]] bool metrics_pump_active() const { return pump_active_; }
+
   /// Runs until no events remain (blocked processes may still exist — that
   /// models processes waiting forever). Rethrows the first process error.
   void run();
@@ -99,8 +109,10 @@ class Simulation {
   Process& spawn_impl(std::string name, std::function<void()> body);
   void resume(Process& p);
   void check_current_killed();
+  void pump_snapshot(SimTime period);
 
   Engine engine_;
+  bool pump_active_ = false;
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;
   std::uint64_t next_process_id_ = 1;

@@ -27,6 +27,7 @@ SendMux::State::State(sim::Simulation* sim_in, net::Cluster* cluster_in,
   c_batches = &reg.counter("mux.batches" + nl);
   c_batch_records = &reg.counter("mux.batch_records" + nl);
   c_delivered = &reg.counter("mux.delivered" + nl);
+  c_flushed = &reg.counter("mux.flushed" + nl);
   g_queued_bytes = &reg.gauge("mux.queued_bytes" + nl);
   if (cfg.copy_policy.kind != mem::CopyPolicyKind::kStaticPool) {
     policy = std::make_unique<mem::CopyPolicy>(&sim->obs(), node,
@@ -120,6 +121,29 @@ bool SendMux::submit(std::uint64_t conn, std::uint64_t bytes,
 void SendMux::close_connection(std::uint64_t conn) {
   // Queued records still deliver; only the id is retired.
   st_->conn_dst.erase(conn);
+}
+
+std::uint64_t SendMux::flush_lane(int dst_node) {
+  State& st = *st_;
+  auto it = st.lanes.find(dst_node);
+  if (it == st.lanes.end()) return 0;
+  Lane& l = it->second;
+  const std::uint64_t flushed = l.q.size();
+  // Destroying the records releases any pooled payload chunks. The lane's
+  // interest entry (if armed) stays in the sender's deque; the sender pops
+  // it, finds the queue empty, and disarms — the protocol already handles
+  // an empty drain.
+  st.g_queued_bytes->add(-static_cast<std::int64_t>(l.queued_bytes));
+  l.q.clear();
+  l.queued_bytes = 0;
+  st.c_flushed->inc(flushed);
+  return flushed;
+}
+
+std::uint64_t SendMux::flush_registrations() {
+  State& st = *st_;
+  if (st.policy == nullptr || st.policy->cache() == nullptr) return 0;
+  return st.policy->cache()->flush(st.sim->now());
 }
 
 void SendMux::shutdown() {

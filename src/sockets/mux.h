@@ -119,6 +119,22 @@ class SendMux {
   /// Closes a logical connection; records already queued still deliver.
   void close_connection(std::uint64_t conn);
 
+  /// Drops every record still queued on the lane to `dst_node`, returning
+  /// how many were discarded (counted under `mux.flushed`). Dropped
+  /// payloads release their pooled chunks immediately. Used by the SLO
+  /// control plane when `dst_node` is demoted: stale queued updates to a
+  /// degraded replica would only arrive late, so they are shed rather
+  /// than delivered. Records already drained into an in-flight aggregate
+  /// still deliver. No-op for lanes that were never opened.
+  std::uint64_t flush_lane(int dst_node);
+
+  /// Flushes this node's registration cache (DESIGN.md §14), charging the
+  /// deregistrations, and returns the bytes unpinned. Demoting a node
+  /// must release its pinned memory — a degraded replica holding
+  /// pin-down cache entries would defeat the point of shifting load off
+  /// it. Returns 0 when no RegCache policy is configured.
+  std::uint64_t flush_registrations();
+
   /// Stops intake; the sender process drains every lane, closes the pipes
   /// (sinks exit after the last delivery), then exits. Idempotent.
   void shutdown();
@@ -177,6 +193,7 @@ class SendMux {
     obs::Counter* c_batches;
     obs::Counter* c_batch_records;
     obs::Counter* c_delivered;
+    obs::Counter* c_flushed;
     obs::Gauge* g_queued_bytes;
   };
 

@@ -1,0 +1,414 @@
+// SLO control-plane unit contracts (DESIGN.md §15), driven without a
+// simulation: a hub whose per-node latency histograms the tests feed by
+// hand, published at fixed sim times. Every decision is a pure function
+// of the fed windows, so each contract — ladder order, hysteresis,
+// cooldown, demotion, probation, the offered-load silence guard — is
+// pinned exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/slo.h"
+#include "control/token_bucket.h"
+#include "obs/hub.h"
+
+namespace sv::control {
+namespace {
+
+using Kind = Controller::Action::Kind;
+
+// Sample values against a 5 ms target with bands at 100%/70% and bucket
+// bounds {1 ms, 4 ms, 20 ms}: kFast reads as p99 = 1 ms (healthy),
+// kDeadZone as 4 ms (between the bands), kSlow as 20 ms (violating, and
+// past the 150% demotion limit).
+constexpr std::int64_t kFast = 500'000;
+constexpr std::int64_t kDeadZone = 3'900'000;
+constexpr std::int64_t kSlow = 19'000'000;
+
+ControllerConfig base_cfg() {
+  ControllerConfig cfg;
+  cfg.targets.p99_update_latency = SimTime::milliseconds(5);
+  cfg.band_high_pct = 100;
+  cfg.band_low_pct = 70;
+  cfg.violate_windows = 2;
+  cfg.recover_windows = 2;
+  cfg.cooldown = SimTime::zero();
+  cfg.min_window_samples = 8;
+  cfg.throttle_step_permille = 250;
+  cfg.min_admit_permille = 500;
+  cfg.chunk_min_bytes = 0;
+  cfg.chunk_max_bytes = 0;  // chunk actuator off unless a test enables it
+  cfg.demote_windows = 0;   // demotion off unless a test enables it
+  return cfg;
+}
+
+struct Fx {
+  obs::Hub hub;
+  std::vector<obs::Histogram*> hists;
+  obs::Counter* offered;
+  std::unique_ptr<Controller> ctl;
+  std::vector<std::uint64_t> chunk_calls;
+  std::vector<int> demote_calls;
+  std::vector<int> promote_calls;
+  SimTime now;
+
+  explicit Fx(const ControllerConfig& cfg, int nodes = 1,
+              AdmissionControl* admission = nullptr) {
+    for (int n = 0; n < nodes; ++n) {
+      hists.push_back(&hub.registry.histogram(
+          "slo.update_latency_ns{node=node" + std::to_string(n) + "}",
+          {1'000'000, 4'000'000, 20'000'000}));
+    }
+    offered = &hub.registry.counter("slo.offered");
+    Actuators acts;
+    acts.admission = admission;
+    acts.apply_chunk_bytes = [this](std::uint64_t b) {
+      chunk_calls.push_back(b);
+    };
+    acts.apply_demotion = [this](int n) { demote_calls.push_back(n); };
+    acts.apply_promotion = [this](int n) { promote_calls.push_back(n); };
+    ctl = std::make_unique<Controller>(&hub, cfg, std::move(acts));
+    for (int n = 0; n < nodes; ++n) ctl->watch_node(n);
+    hub.attach(ctl.get());
+    // Priming publish: binds every window at zero so the first fed window
+    // is fully visible.
+    hub.publish(now);
+  }
+
+  /// Feeds `n` latency samples to `node` and counts them as offered load.
+  void feed(int node, std::uint64_t n, std::int64_t ns) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      hists[static_cast<std::size_t>(node)]->observe(ns);
+    }
+    offered->inc(n);
+  }
+
+  /// Feeds samples WITHOUT advancing `slo.offered` (for the silence-guard
+  /// test: delivery evidence with no offered load).
+  void feed_quiet(int node, std::uint64_t n, std::int64_t ns) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      hists[static_cast<std::size_t>(node)]->observe(ns);
+    }
+  }
+
+  /// Closes the current 5 ms decision window.
+  void publish() {
+    now += SimTime::milliseconds(5);
+    hub.publish(now);
+  }
+
+  [[nodiscard]] std::size_t action_count(Kind k) const {
+    std::size_t n = 0;
+    for (const Controller::Action& a : ctl->actions()) n += a.kind == k;
+    return n;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TokenBucket
+
+TEST(TokenBucketTest, StartsFullAndRefillsAtIntegerRate) {
+  TokenBucket b(1'000, 2);  // one token per simulated millisecond
+  EXPECT_TRUE(b.try_take(SimTime::zero()));
+  EXPECT_TRUE(b.try_take(SimTime::zero()));
+  EXPECT_FALSE(b.try_take(SimTime::zero()));
+  // Half a token accrued: still dry.
+  EXPECT_FALSE(b.try_take(SimTime::microseconds(500)));
+  // The carry completes the token at exactly 1 ms.
+  EXPECT_TRUE(b.try_take(SimTime::milliseconds(1)));
+  EXPECT_FALSE(b.try_take(SimTime::milliseconds(1)));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  TokenBucket b(1'000'000, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(b.try_take(SimTime::zero()));
+  // A long idle stretch accrues far more than burst; only 4 survive.
+  const SimTime later = SimTime::seconds(1);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(b.try_take(later));
+  EXPECT_FALSE(b.try_take(later));
+}
+
+TEST(TokenBucketTest, SetRateResetsSubTokenCarry) {
+  TokenBucket b(1'000, 1);
+  EXPECT_TRUE(b.try_take(SimTime::zero()));
+  // Accrue half a token of carry, then re-rate: the carry resets, so the
+  // change is a pure function of the call point (determinism contract).
+  EXPECT_FALSE(b.try_take(SimTime::microseconds(500)));
+  b.set_rate(1'000);
+  EXPECT_FALSE(b.try_take(SimTime::milliseconds(1)));
+  EXPECT_TRUE(b.try_take(SimTime::microseconds(1'500)));
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionControl
+
+TEST(AdmissionControlTest, ShedsOnlySheddableClassesUnderThrottle) {
+  AdmissionControl gate({
+      AdmissionControl::ClassSpec{"interactive", 1'000, 4, false},
+      AdmissionControl::ClassSpec{"bulk", 1'000, 4, true},
+  });
+  ASSERT_EQ(gate.class_count(), 2u);
+  // Full admission: both classes bypass the buckets entirely.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(gate.admit(0, SimTime::zero()));
+    EXPECT_TRUE(gate.admit(1, SimTime::zero()));
+  }
+  gate.set_admit_permille(500);
+  EXPECT_EQ(gate.admit_permille(), 500u);
+  // Bulk now drains its burst, then throttles at the halved rate.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(gate.admit(1, SimTime::zero()));
+  EXPECT_FALSE(gate.admit(1, SimTime::zero()));
+  // 500/s = one token per 2 ms.
+  EXPECT_TRUE(gate.admit(1, SimTime::milliseconds(2)));
+  EXPECT_FALSE(gate.admit(1, SimTime::milliseconds(2)));
+  // The interactive class is never shed, no matter the permille.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(gate.admit(0, SimTime::milliseconds(2)));
+  }
+}
+
+TEST(AdmissionControlTest, ZeroPermilleClampsToOneTokenPerSecond) {
+  AdmissionControl gate({AdmissionControl::ClassSpec{"bulk", 1'000, 1, true}});
+  gate.set_admit_permille(0);
+  EXPECT_TRUE(gate.admit(0, SimTime::zero()));  // the burst token
+  EXPECT_FALSE(gate.admit(0, SimTime::milliseconds(999)));
+  EXPECT_TRUE(gate.admit(0, SimTime::seconds(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Controller: the cluster escalation ladder
+
+TEST(ControllerTest, ThrottleLadderStepsDownThenReleasesUp) {
+  AdmissionControl gate({AdmissionControl::ClassSpec{"bulk", 1'000, 4, true}});
+  Fx fx(base_cfg(), 1, &gate);
+
+  fx.feed(0, 16, kSlow);
+  fx.publish();  // violating streak 1: below violate_windows, no action
+  EXPECT_TRUE(fx.ctl->actions().empty());
+  fx.feed(0, 16, kSlow);
+  fx.publish();  // streak 2 -> throttle
+  ASSERT_EQ(fx.ctl->actions().size(), 1u);
+  EXPECT_EQ(fx.ctl->actions()[0].kind, Kind::kThrottle);
+  EXPECT_EQ(fx.ctl->admit_permille(), 750u);
+  EXPECT_EQ(gate.admit_permille(), 750u);
+
+  fx.feed(0, 16, kSlow);
+  fx.publish();
+  fx.feed(0, 16, kSlow);
+  fx.publish();  // second throttle lands on the floor
+  EXPECT_EQ(fx.ctl->admit_permille(), 500u);
+
+  // Ladder exhausted (chunk actuator disabled): further violations are
+  // recorded as pressure but change nothing.
+  fx.feed(0, 16, kSlow);
+  fx.publish();
+  fx.feed(0, 16, kSlow);
+  fx.publish();
+  EXPECT_EQ(fx.ctl->admit_permille(), 500u);
+  EXPECT_EQ(fx.ctl->actions().size(), 2u);
+
+  // Recovery releases in steps, back to full admission.
+  for (int i = 0; i < 2; ++i) {
+    fx.feed(0, 16, kFast);
+    fx.publish();
+  }
+  EXPECT_EQ(fx.ctl->admit_permille(), 750u);
+  for (int i = 0; i < 2; ++i) {
+    fx.feed(0, 16, kFast);
+    fx.publish();
+  }
+  EXPECT_EQ(fx.ctl->admit_permille(), 1000u);
+  EXPECT_EQ(gate.admit_permille(), 1000u);
+  EXPECT_EQ(fx.action_count(Kind::kThrottle), 2u);
+  EXPECT_EQ(fx.action_count(Kind::kRelease), 2u);
+}
+
+TEST(ControllerTest, ChunkLadderEngagesAfterAdmissionFloor) {
+  ControllerConfig cfg = base_cfg();
+  cfg.min_admit_permille = 1000;  // admission rung disabled: straight to chunk
+  cfg.chunk_min_bytes = 1024;
+  cfg.chunk_max_bytes = 4096;
+  Fx fx(cfg);
+
+  EXPECT_EQ(fx.ctl->chunk_bytes(), 4096u);
+  for (int i = 0; i < 4; ++i) {
+    fx.feed(0, 16, kSlow);
+    fx.publish();
+  }
+  // Two violation decisions: halve, halve to the floor.
+  EXPECT_EQ(fx.ctl->chunk_bytes(), 1024u);
+  for (int i = 0; i < 4; ++i) {
+    fx.feed(0, 16, kFast);
+    fx.publish();
+  }
+  // Two recovery decisions: double, double back to the ceiling.
+  EXPECT_EQ(fx.ctl->chunk_bytes(), 4096u);
+  EXPECT_EQ(fx.chunk_calls,
+            (std::vector<std::uint64_t>{2048, 1024, 2048, 4096}));
+  EXPECT_EQ(fx.action_count(Kind::kChunkShrink), 2u);
+  EXPECT_EQ(fx.action_count(Kind::kChunkGrow), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Controller: hysteresis and cooldown
+
+TEST(ControllerTest, DeadZoneHoldsStateWithoutOscillation) {
+  AdmissionControl gate({AdmissionControl::ClassSpec{"bulk", 1'000, 4, true}});
+  Fx fx(base_cfg(), 1, &gate);
+  // p99 sits between the bands (4 ms in [3.5, 5]): neither streak moves,
+  // no action ever fires.
+  for (int i = 0; i < 12; ++i) {
+    fx.feed(0, 16, kDeadZone);
+    fx.publish();
+  }
+  EXPECT_TRUE(fx.ctl->actions().empty());
+  EXPECT_EQ(fx.ctl->admit_permille(), 1000u);
+}
+
+TEST(ControllerTest, SquareWaveLoadNeverOscillates) {
+  AdmissionControl gate({AdmissionControl::ClassSpec{"bulk", 1'000, 4, true}});
+  Fx fx(base_cfg(), 1, &gate);
+  // A square wave flipping every window: each flip resets the opposing
+  // streak, so with violate_windows = 2 the controller never acts.
+  for (int i = 0; i < 12; ++i) {
+    fx.feed(0, 16, i % 2 == 0 ? kSlow : kFast);
+    fx.publish();
+  }
+  EXPECT_TRUE(fx.ctl->actions().empty());
+}
+
+TEST(ControllerTest, CooldownSpacesClusterActions) {
+  AdmissionControl gate({AdmissionControl::ClassSpec{"bulk", 1'000, 4, true}});
+  ControllerConfig cfg = base_cfg();
+  cfg.violate_windows = 1;
+  cfg.cooldown = SimTime::milliseconds(10);  // two 5 ms windows
+  Fx fx(cfg, 1, &gate);
+  for (int i = 0; i < 3; ++i) {
+    fx.feed(0, 16, kSlow);
+    fx.publish();
+  }
+  // Windows close at 5/10/15 ms; the 10 ms one is inside the cooldown.
+  ASSERT_EQ(fx.ctl->actions().size(), 2u);
+  EXPECT_EQ(fx.ctl->actions()[0].at.ns(), SimTime::milliseconds(5).ns());
+  EXPECT_EQ(fx.ctl->actions()[1].at.ns(), SimTime::milliseconds(15).ns());
+}
+
+// ---------------------------------------------------------------------------
+// Controller: demotion / probation / silence
+
+ControllerConfig demote_cfg() {
+  ControllerConfig cfg = base_cfg();
+  cfg.violate_windows = 100;  // mute the cluster ladder: isolate demotion
+  cfg.demote_windows = 2;
+  cfg.demote_latency_pct = 150;  // 7.5 ms limit
+  cfg.max_demoted = 1;
+  cfg.demote_hold = SimTime::milliseconds(20);
+  return cfg;
+}
+
+TEST(ControllerTest, DemotesSlowNodeAndPromotesAfterProbation) {
+  Fx fx(demote_cfg(), 2);
+  // Node 1 runs past the demotion limit for two consecutive windows.
+  for (int w = 0; w < 2; ++w) {
+    fx.feed(0, 16, kFast);
+    fx.feed(1, 16, kSlow);
+    fx.publish();
+  }
+  EXPECT_EQ(fx.demote_calls, std::vector<int>{1});
+  EXPECT_TRUE(fx.ctl->is_demoted(1));
+  EXPECT_FALSE(fx.ctl->is_demoted(0));
+  EXPECT_EQ(fx.ctl->demoted_count(), 1);
+  // Probation: with traffic shifted away the node is silent; promotion
+  // comes from the hold timer, 20 ms after the 10 ms demotion.
+  for (int w = 0; w < 4; ++w) {
+    fx.feed(0, 16, kFast);
+    fx.publish();
+  }
+  EXPECT_EQ(fx.promote_calls, std::vector<int>{1});
+  EXPECT_FALSE(fx.ctl->is_demoted(1));
+  const std::vector<Controller::Action>& acts = fx.ctl->actions();
+  ASSERT_EQ(acts.size(), 2u);
+  EXPECT_EQ(acts[0].kind, Kind::kDemote);
+  EXPECT_EQ(acts[0].at.ns(), SimTime::milliseconds(10).ns());
+  EXPECT_EQ(acts[1].kind, Kind::kPromote);
+  EXPECT_EQ(acts[1].at.ns(), SimTime::milliseconds(30).ns());
+}
+
+TEST(ControllerTest, MaxDemotedBoundsSimultaneousDemotions) {
+  Fx fx(demote_cfg(), 2);
+  for (int w = 0; w < 3; ++w) {
+    fx.feed(0, 16, kSlow);
+    fx.feed(1, 16, kSlow);
+    fx.publish();
+  }
+  // Both qualify; the cap admits one (first watch order), the other waits.
+  EXPECT_EQ(fx.ctl->demoted_count(), 1);
+  EXPECT_EQ(fx.demote_calls, std::vector<int>{0});
+}
+
+TEST(ControllerTest, SilentNodeIsDemotedOnlyUnderOfferedLoad) {
+  Fx fx(demote_cfg(), 2);
+  // Establish delivery history for node 1 (below min_window_samples, so
+  // its own window carries no latency signal).
+  fx.feed(0, 16, kFast);
+  fx.feed(1, 4, kFast);
+  fx.publish();
+  EXPECT_TRUE(fx.ctl->actions().empty());
+  // Node 1 goes silent while the cluster keeps delivering under offered
+  // load: the stall signature. Two windows -> demote, value 0.
+  for (int w = 0; w < 2; ++w) {
+    fx.feed(0, 16, kFast);
+    fx.publish();
+  }
+  ASSERT_EQ(fx.ctl->actions().size(), 1u);
+  EXPECT_EQ(fx.ctl->actions()[0].kind, Kind::kDemote);
+  EXPECT_EQ(fx.ctl->actions()[0].node, 1);
+  EXPECT_EQ(fx.ctl->actions()[0].value, 0u);
+}
+
+TEST(ControllerTest, NoSilenceDemotionWithoutOfferedLoad) {
+  Fx fx(demote_cfg(), 2);
+  fx.feed(0, 16, kFast);
+  fx.feed(1, 4, kFast);
+  fx.publish();
+  // Cluster windows keep sample counts up (late deliveries draining) but
+  // `slo.offered` stops moving — the end-of-run shape. A silent node here
+  // is idle, not stalled: no demotion, however many windows pass.
+  for (int w = 0; w < 6; ++w) {
+    fx.feed_quiet(0, 16, kFast);
+    fx.publish();
+  }
+  EXPECT_TRUE(fx.ctl->actions().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: identical fed windows -> byte-identical action logs
+
+TEST(ControllerTest, ActionLogIsAReplayableRecord) {
+  auto drive = [](Fx& fx) {
+    for (int i = 0; i < 4; ++i) {
+      fx.feed(0, 16, kSlow);
+      fx.publish();
+    }
+    for (int i = 0; i < 4; ++i) {
+      fx.feed(0, 16, kFast);
+      fx.publish();
+    }
+  };
+  AdmissionControl g1({AdmissionControl::ClassSpec{"bulk", 1'000, 4, true}});
+  AdmissionControl g2({AdmissionControl::ClassSpec{"bulk", 1'000, 4, true}});
+  Fx a(base_cfg(), 1, &g1);
+  Fx b(base_cfg(), 1, &g2);
+  drive(a);
+  drive(b);
+  EXPECT_FALSE(a.ctl->action_log().empty());
+  EXPECT_EQ(a.ctl->action_log(), b.ctl->action_log());
+  // The log is line-per-action `<ns> <kind> <node> <value>`.
+  EXPECT_EQ(a.ctl->action_log().substr(0, 21), "10000000 throttle -1 ");
+}
+
+}  // namespace
+}  // namespace sv::control

@@ -1,0 +1,139 @@
+// Live-snapshot unit contracts (DESIGN.md §15): windowed views are pure
+// delta functions of publish-time registry state, the hub is zero-cost
+// when detached, and Gauge::read_and_rearm_max reports per-window peaks
+// instead of pinning every window at the all-time burst.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/hub.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace sv::obs {
+namespace {
+
+TEST(GaugeRearmTest, ReadAndRearmMaxReportsPerWindowPeaks) {
+  Gauge g;
+  g.set(10);
+  g.set(100);
+  g.set(40);
+  // Window 1 saw the burst.
+  EXPECT_EQ(g.read_and_rearm_max(), 100);
+  // The regression: before the re-arm fix, the burst pinned every later
+  // window's "peak" at 100 forever. After re-arm, each window reports its
+  // own maximum.
+  g.set(60);
+  g.set(50);
+  EXPECT_EQ(g.read_and_rearm_max(), 60);
+  // A quiet window's peak is the standing level, not an older burst.
+  EXPECT_EQ(g.read_and_rearm_max(), 50);
+  EXPECT_EQ(g.value(), 50);
+  // max_value() still tracks for post-mortem snapshots after re-arms.
+  g.set(70);
+  EXPECT_EQ(g.max_value(), 70);
+}
+
+TEST(CounterWindowTest, ReportsDeltasSincePreviousAdvance) {
+  Registry reg;
+  Counter& c = reg.counter("x.total");
+  c.inc(5);
+  CounterWindow w;
+  EXPECT_FALSE(w.bound());
+  EXPECT_EQ(w.advance(), 0u);  // unbound: no signal, never a crash
+  w.bind(reg.find_counter("x.total"));
+  ASSERT_TRUE(w.bound());
+  c.inc(7);
+  EXPECT_EQ(w.advance(), 7u);  // pre-bind history excluded
+  EXPECT_EQ(w.advance(), 0u);  // idle window
+  c.inc(2);
+  EXPECT_EQ(w.advance(), 2u);
+}
+
+TEST(HistogramWindowTest, PercentileUsesWindowDeltasNotLifetime) {
+  Registry reg;
+  Histogram& h = reg.histogram("x.lat", {10, 100, 1000});
+  HistogramWindow w;
+  w.bind(reg.find_histogram("x.lat"));
+  for (int i = 0; i < 100; ++i) h.observe(5);
+  EXPECT_EQ(w.advance(), 100u);
+  EXPECT_EQ(w.percentile(99), 10);
+  // Second window: all slow. The lifetime distribution is now 50/50 fast,
+  // but the *window* is what an SLO comparison must see.
+  for (int i = 0; i < 100; ++i) h.observe(500);
+  EXPECT_EQ(w.advance(), 100u);
+  EXPECT_EQ(w.percentile(50), 1000);
+  EXPECT_EQ(w.percentile(99), 1000);
+}
+
+TEST(HistogramWindowTest, OverflowIsPessimisticAndEmptyIsZero) {
+  Registry reg;
+  Histogram& h = reg.histogram("x.lat", {10, 100});
+  HistogramWindow w;
+  w.bind(reg.find_histogram("x.lat"));
+  EXPECT_EQ(w.advance(), 0u);
+  EXPECT_EQ(w.percentile(99), 0);  // empty window makes no claim
+  h.observe(5'000);                // off the bucket scale
+  EXPECT_EQ(w.advance(), 1u);
+  // 2x the largest finite bound: off-scale latency must read as an SLO
+  // violation, never as "somewhere under the top bucket".
+  EXPECT_EQ(w.percentile(99), 200);
+}
+
+TEST(HistogramWindowTest, MergeAggregatesPerNodeWindows) {
+  Registry reg;
+  Histogram& a = reg.histogram("a.lat", {10, 100});
+  Histogram& b = reg.histogram("b.lat", {10, 100});
+  HistogramWindow wa;
+  HistogramWindow wb;
+  wa.bind(reg.find_histogram("a.lat"));
+  wb.bind(reg.find_histogram("b.lat"));
+  for (int i = 0; i < 98; ++i) a.observe(5);
+  b.observe(50);
+  b.observe(50);
+  wa.advance();
+  wb.advance();
+  HistogramWindow cluster;  // empty: merges with anything
+  cluster.merge(wa);
+  cluster.merge(wb);
+  EXPECT_EQ(cluster.count(), 100u);
+  EXPECT_EQ(cluster.sum(), 98 * 5 + 2 * 50);
+  EXPECT_EQ(cluster.percentile(50), 10);
+  EXPECT_EQ(cluster.percentile(99), 100);  // the two slow samples surface
+}
+
+struct Probe final : SnapshotSink {
+  std::vector<std::uint64_t> seqs;
+  std::vector<std::int64_t> at_ns;
+  void on_snapshot(const Snapshot& snap) override {
+    EXPECT_NE(snap.registry, nullptr);
+    seqs.push_back(snap.seq);
+    at_ns.push_back(snap.at.ns());
+  }
+};
+
+TEST(HubTest, PublishNotifiesAttachedSinksAndDetachStops) {
+  Hub hub;
+  EXPECT_FALSE(hub.has_sinks());
+  // A publish with no sinks still advances the sequence (numbered
+  // artifacts stay aligned with the pump schedule).
+  hub.publish(SimTime::milliseconds(1));
+  Probe p1;
+  Probe p2;
+  hub.attach(&p1);
+  hub.attach(&p2);
+  hub.publish(SimTime::milliseconds(2));
+  ASSERT_EQ(p1.seqs.size(), 1u);
+  EXPECT_EQ(p1.seqs[0], 1u);
+  EXPECT_EQ(p1.at_ns[0], SimTime::milliseconds(2).ns());
+  hub.detach(&p1);
+  hub.publish(SimTime::milliseconds(3));
+  EXPECT_EQ(p1.seqs.size(), 1u);
+  ASSERT_EQ(p2.seqs.size(), 2u);
+  EXPECT_EQ(p2.seqs[1], 2u);
+  EXPECT_EQ(hub.snapshots_published(), 3u);
+}
+
+}  // namespace
+}  // namespace sv::obs

@@ -1,0 +1,127 @@
+// Demotion-path mux contracts (DESIGN.md §15): flush_lane sheds a
+// degraded destination's queued records (releasing pooled payload chunks
+// immediately, counted under mux.flushed, never as drops), and
+// flush_registrations empties the node's pin-down cache so the
+// registration ledger reconciles to zero pinned bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "mem/buffer_pool.h"
+#include "sockets/mux.h"
+
+namespace sv::sockets {
+namespace {
+
+TEST(MuxFlushTest, FlushLaneShedsQueuedRecordsAndReleasesPayloads) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 3);
+  const std::uint64_t kBytes = 512;
+
+  mem::BufferPool pool(&s.obs(), {.label = "flush_test", .registered = false});
+  std::uint64_t delivered = 0;
+  SendMux mux(&s, &cluster, /*node=*/0, SendMuxConfig{},
+              [&](int, const MuxRecord&, SimTime) { ++delivered; });
+  const std::uint64_t to1 = mux.open_connection(1);
+  const std::uint64_t to2 = mux.open_connection(2);
+
+  // 6 records queued to node 1 and 2 to node 2, all at t=0 — the sender
+  // process has not drained anything yet.
+  for (int i = 0; i < 6; ++i) {
+    mem::PooledBuffer lease = pool.acquire(kBytes);
+    ASSERT_TRUE(
+        mux.submit(to1, kBytes, /*buffer=*/1, std::move(lease).seal()));
+  }
+  for (int i = 0; i < 2; ++i) {
+    mem::PooledBuffer lease = pool.acquire(kBytes);
+    ASSERT_TRUE(
+        mux.submit(to2, kBytes, /*buffer=*/2, std::move(lease).seal()));
+  }
+  EXPECT_EQ(pool.free_chunks(), 0u);
+
+  // Demote node 1: its queued records are shed and their chunks come home
+  // immediately; the lane to node 2 is untouched.
+  EXPECT_EQ(mux.flush_lane(1), 6u);
+  EXPECT_EQ(pool.free_chunks(), 6u);
+  // Re-flushing an empty lane, or a lane that never existed, is a no-op.
+  EXPECT_EQ(mux.flush_lane(1), 0u);
+  EXPECT_EQ(mux.flush_lane(7), 0u);
+
+  mux.shutdown();
+  s.run();
+
+  const auto& reg = s.obs().registry;
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(reg.counter_value("mux.flushed{node=node0}"), 6u);
+  // Shed is not dropped: overflow accounting stays clean.
+  EXPECT_EQ(reg.counter_value("mux.drops{node=node0}"), 0u);
+  EXPECT_EQ(reg.counter_value("mux.delivered{node=node0}"), 2u);
+  const obs::Gauge* queued = reg.find_gauge("mux.queued_bytes{node=node0}");
+  ASSERT_NE(queued, nullptr);
+  EXPECT_EQ(queued->value(), 0);
+  EXPECT_EQ(pool.free_chunks(), 8u);
+}
+
+TEST(MuxFlushTest, FlushRegistrationsReconcilesThePinDownLedger) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  SendMuxConfig cfg;
+  cfg.copy_policy.kind = mem::CopyPolicyKind::kRegCache;
+  cfg.copy_policy.cache.capacity_regions = 8;
+
+  std::uint64_t delivered = 0;
+  SendMux mux(&s, &cluster, /*node=*/0, cfg,
+              [&](int, const MuxRecord&, SimTime) { ++delivered; });
+  const std::uint64_t conn = mux.open_connection(1);
+  // Three distinct hot regions, revisited: the drain pins each once.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(mux.submit(conn, 2048,
+                           /*buffer=*/1 + static_cast<std::uint64_t>(i % 3),
+                           mem::Payload{}));
+  }
+  mux.shutdown();
+  s.run();
+  EXPECT_EQ(delivered, 6u);
+
+  const auto& reg = s.obs().registry;
+  const obs::Gauge* pinned =
+      reg.find_gauge("mem.regcache_pinned_bytes{cache=regcache}");
+  ASSERT_NE(pinned, nullptr);
+  const std::int64_t before = pinned->value();
+  EXPECT_GT(before, 0);
+  EXPECT_LT(reg.counter_value("mem.deregistrations"),
+            reg.counter_value("mem.registrations"));
+
+  // Three distinct regions fit capacity 8, so nothing evicted in-band.
+  EXPECT_EQ(reg.counter_value("mem.regcache_evictions{cache=regcache}"), 0u);
+
+  // Demotion flushes the cache: everything unpins (counted as evictions),
+  // charged to the ledger, and registrations reconcile exactly.
+  EXPECT_EQ(mux.flush_registrations(), static_cast<std::uint64_t>(before));
+  EXPECT_EQ(pinned->value(), 0);
+  EXPECT_EQ(reg.counter_value("mem.regcache_evictions{cache=regcache}"), 3u);
+  const obs::Gauge* resident =
+      reg.find_gauge("mem.regcache_resident{cache=regcache}");
+  ASSERT_NE(resident, nullptr);
+  EXPECT_EQ(resident->value(), 0);
+  EXPECT_EQ(reg.counter_value("mem.deregistrations"),
+            reg.counter_value("mem.registrations"));
+  EXPECT_EQ(reg.counter_value("mem.deregistered_bytes"),
+            reg.counter_value("mem.registered_bytes"));
+  // A second flush finds nothing pinned.
+  EXPECT_EQ(mux.flush_registrations(), 0u);
+}
+
+TEST(MuxFlushTest, FlushRegistrationsIsZeroWithoutACachePolicy) {
+  sim::Simulation s;
+  net::Cluster cluster(&s, 2);
+  SendMux mux(&s, &cluster, /*node=*/0, SendMuxConfig{},
+              [](int, const MuxRecord&, SimTime) {});
+  EXPECT_EQ(mux.flush_registrations(), 0u);
+  mux.shutdown();
+  s.run();
+}
+
+}  // namespace
+}  // namespace sv::sockets

@@ -1,0 +1,11 @@
+// SV014 negative fixture: src/control/ is the mutation authority — the
+// Controller fires every actuator from inside the publish event.
+#include "control/slo.h"
+
+void controller_fires(sv::control::AdmissionControl& gate,
+                      sv::control::Actuators& acts) {
+  gate.set_admit_permille(750);
+  acts.apply_chunk_bytes(1024);
+  acts.apply_demotion(2);
+  acts.apply_promotion(2);
+}

@@ -1,0 +1,25 @@
+// SV014 fixture: actuator calls outside src/control/. Installing the
+// callbacks and querying admit() are the sanctioned harness verbs;
+// *firing* one is not.
+#include "control/slo.h"
+
+void actuator_misuse(sv::control::AdmissionControl& gate,
+                     sv::control::Actuators& acts) {
+  gate.set_admit_permille(500);  // finding: re-rate outside control
+  acts.apply_chunk_bytes(2048);  // finding: firing an installed callback
+  (&acts)->apply_demotion(3);    // finding: arrow receiver
+}
+
+// Installing and querying are sanctioned: no findings below.
+void sanctioned(sv::control::AdmissionControl& gate,
+                sv::control::Actuators& acts) {
+  acts.apply_promotion = [](int) {};
+  (void)gate.admit(0, sv::SimTime::zero());
+  (void)gate.admit_permille();
+}
+
+// Suppression case: reported but downgraded, never hidden.
+void forced(sv::control::Actuators& acts) {
+  // svlint:allow(SV014): probation override in a recovery drill
+  acts.apply_promotion(1);
+}

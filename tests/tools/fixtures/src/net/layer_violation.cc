@@ -1,5 +1,5 @@
-// SV009 fixture: net (layer 4) reaching upward into via (5) and sockets
-// (6). Downward and same-module includes are fine; angled includes are
+// SV009 fixture: net (layer 5) reaching upward into via (6) and sockets
+// (7). Downward and same-module includes are fine; angled includes are
 // system headers and out of scope.
 #include "common/units.h"
 #include "net/fabric.h"

@@ -1,4 +1,4 @@
-// SV009 negative fixture: sockets (layer 6) may include every lower layer,
+// SV009 negative fixture: sockets (layer 7) may include every lower layer,
 // its own module, slash-free local headers, and system headers.
 #include "common/units.h"
 #include "net/fabric.h"

@@ -33,10 +33,10 @@ bool has(const std::vector<Finding>& fs, const std::string& rule, int line) {
   });
 }
 
-TEST(SvlintRules, RuleTableListsThirteenRules) {
-  ASSERT_EQ(rules().size(), 13u);
+TEST(SvlintRules, RuleTableListsFourteenRules) {
+  ASSERT_EQ(rules().size(), 14u);
   EXPECT_STREQ(rules().front().id, "SV001");
-  EXPECT_STREQ(rules().back().id, "SV013");
+  EXPECT_STREQ(rules().back().id, "SV014");
 }
 
 TEST(SvlintRules, Sv001CatchesUnorderedIteration) {
@@ -289,6 +289,24 @@ TEST(SvlintRules, Sv013CatchesDirectRegistrationAndPoolAcquire) {
   EXPECT_EQ(fs.back().line, 28);
 }
 
+TEST(SvlintRules, Sv014CatchesActuatorCallsOutsideControl) {
+  const auto fs = scan_fixture("src/harness/actuator_call.cc");
+  const auto live = unsuppressed(fs);
+  EXPECT_TRUE(has(live, "SV014", 8)) << "set_admit_permille outside control";
+  EXPECT_TRUE(has(live, "SV014", 9)) << "firing an installed callback";
+  EXPECT_TRUE(has(live, "SV014", 10)) << "arrow receiver";
+  EXPECT_EQ(live.size(), 3u)
+      << "installing callbacks and querying admit() must not trip";
+  // The drill override is reported but suppressed.
+  ASSERT_EQ(fs.size(), 4u);
+  EXPECT_TRUE(fs.back().suppressed);
+  EXPECT_EQ(fs.back().line, 24);
+}
+
+TEST(SvlintRules, Sv014ExemptsTheControlPlane) {
+  EXPECT_TRUE(scan_fixture("src/control/actuator_ok.cc").empty());
+}
+
 TEST(SvlintRules, Sv013ExemptsMemLayerAndNonSrcTrees) {
   EXPECT_TRUE(
       scan_source("src/mem/x.cc", "void f(P& p) { p.register_memory(4); }\n")
@@ -320,9 +338,9 @@ TEST(IncludeGraph, ModuleRanksDeclareTheDag) {
   EXPECT_EQ(module_of("src/net/fabric.cc"), "net");
   EXPECT_EQ(module_of("src/common/log.h"), "common");
   EXPECT_EQ(module_of("tools/svlint/main.cc"), "");
-  const char* order[] = {"common", "obs",     "sim",        "mem",
-                         "net",    "tcpstack", "sockets",    "datacutter",
-                         "vizapp", "harness"};
+  const char* order[] = {"common",     "obs",    "control", "sim",
+                         "mem",        "net",    "tcpstack", "sockets",
+                         "datacutter", "vizapp", "harness"};
   for (std::size_t i = 1; i < std::size(order); ++i) {
     EXPECT_LT(module_rank(order[i - 1]), module_rank(order[i]))
         << order[i - 1] << " must rank below " << order[i];

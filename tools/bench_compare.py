@@ -30,6 +30,16 @@ still wins at least one cell it won in the baseline's quick subset.
 Hit-rate is exact-derived (from hits/misses) while host events/sec is
 gated by `--min-ratio`.
 
+slo — CI's slo-smoke job runs `slo_guarantees --quick` (the controlled vs
+uncontrolled 16-node degraded run). Model outputs (offered/delivered/
+drops/throttled counts, latency percentiles, the controller's action and
+demotion counts, final actuator settings, trace digest) are pure functions
+of (config, seed): for each run present in both files they must match the
+baseline EXACTLY. The gate also enforces the machine-independent SLO
+contrast itself: the controlled run holds p99 at or under the target
+("held": true) while the uncontrolled run violates it by at least 2x —
+the bench's reason to exist. Host events/sec is gated by `--min-ratio`.
+
 Usage: bench_compare.py --baseline BENCH_x.json --fresh fresh.json
 """
 
@@ -202,6 +212,73 @@ def compare_regcache(baseline, fresh, min_ratio):
     return failures
 
 
+# Deterministic per-run outputs of the SLO guarantee bench: exact match
+# required. wall-clock fields are host-dependent and ratio-gated.
+EXACT_SLO_KEYS = ("controlled", "offered", "delivered", "drops", "throttled",
+                  "p50_update_ns", "p99_update_ns", "slo_actions",
+                  "demotions", "promotions", "final_admit_permille",
+                  "final_chunk_bytes", "events_fired", "trace_digest")
+
+
+def compare_slo(baseline, fresh, min_ratio):
+    base_runs = {r["name"]: r for r in baseline["runs"]}
+    fresh_runs = {r["name"]: r for r in fresh["runs"]}
+
+    failures = []
+    for name, got in sorted(fresh_runs.items()):
+        if name not in base_runs:
+            failures.append(
+                f"{name}: not in the baseline — regenerate BENCH_slo.json")
+            continue
+        base = base_runs[name]
+        drifted = [k for k in EXACT_SLO_KEYS if base[k] != got[k]]
+        base_rate = base["events_per_sec"]
+        ratio = got["events_per_sec"] / base_rate if base_rate else 0.0
+        status = "ok"
+        if drifted:
+            status = "DRIFTED"
+            failures.append(
+                f"{name}: deterministic outputs drifted from baseline "
+                f"({', '.join(drifted)}) — the controller made different "
+                f"decisions or the schedule changed; regenerate the "
+                f"baseline only for understood changes")
+        if ratio < min_ratio:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {got['events_per_sec']:.0f} ev/s is {ratio:.2f}x "
+                f"the baseline {base_rate:.0f} ev/s (floor {min_ratio})")
+        print(f"{name:13s} p99 {got['p99_update_ns']:10.0f} ns  "
+              f"{got['slo_actions']:3.0f} actions  "
+              f"shed {got['throttled']:6.0f}  ratio {ratio:4.2f}  {status}")
+
+    for name in ("controlled", "uncontrolled"):
+        if name not in fresh_runs:
+            failures.append(f"fresh run is missing the {name} arm")
+    if failures and any("missing the" in f for f in failures):
+        return failures
+
+    # The machine-independent guarantee the bench exists to demonstrate:
+    # under the same faults, the controlled run holds the SLO and the
+    # uncontrolled run violates it by at least 2x.
+    target = fresh["target_p99_ns"]
+    controlled_p99 = fresh_runs["controlled"]["p99_update_ns"]
+    uncontrolled_p99 = fresh_runs["uncontrolled"]["p99_update_ns"]
+    if not fresh.get("held") or controlled_p99 > target:
+        failures.append(
+            f"SLO not held: controlled p99 {controlled_p99:.0f} ns vs "
+            f"target {target} ns")
+    if uncontrolled_p99 < 2 * target:
+        failures.append(
+            f"contrast lost: uncontrolled p99 {uncontrolled_p99:.0f} ns is "
+            f"under 2x the {target} ns target — the fault plan no longer "
+            f"stresses the system")
+    if fresh_runs["controlled"]["slo_actions"] < 1:
+        failures.append("controlled run recorded no controller actions")
+    print(f"held: controlled p99 {controlled_p99:.0f} ns <= target {target} "
+          f"ns; uncontrolled {uncontrolled_p99 / target:.1f}x target")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -225,6 +302,8 @@ def main():
         failures = compare_scale_sweep(baseline, fresh, args.min_ratio)
     elif kind == "regcache":
         failures = compare_regcache(baseline, fresh, args.min_ratio)
+    elif kind == "slo":
+        failures = compare_slo(baseline, fresh, args.min_ratio)
     else:
         raise SystemExit(f"{args.baseline}: unknown bench kind {kind!r}")
 

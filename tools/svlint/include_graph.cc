@@ -15,9 +15,9 @@ struct ModuleRank {
   int rank;
 };
 constexpr ModuleRank kLayering[] = {
-    {"common", 0},    {"obs", 1},     {"sim", 2},  {"mem", 3},
-    {"net", 4},       {"tcpstack", 5}, {"via", 5},  {"sockets", 6},
-    {"datacutter", 7}, {"vizapp", 8},  {"harness", 9},
+    {"common", 0},     {"obs", 1},      {"control", 2}, {"sim", 3},
+    {"mem", 4},        {"net", 5},      {"tcpstack", 6}, {"via", 6},
+    {"sockets", 7},    {"datacutter", 8}, {"vizapp", 9}, {"harness", 10},
 };
 
 std::string dir_of(const std::string& rel_path) {

@@ -50,9 +50,9 @@ const std::vector<RuleInfo> kRules = {
      "charged to the mem ledger (DESIGN.md §10)"},
     {"SV009",
      "include edge that violates the declared layering DAG (common < obs < "
-     "sim < mem < net < tcpstack = via < sockets < datacutter < vizapp < "
-     "harness): a src/ module may include itself and strictly lower layers "
-     "only (DESIGN.md §11)"},
+     "control < sim < mem < net < tcpstack = via < sockets < datacutter < "
+     "vizapp < harness): a src/ module may include itself and strictly "
+     "lower layers only (DESIGN.md §11)"},
     {"SV010",
      "discarded Result<T> from a timed operation (send_for/recv_for/"
      "wait_completion_for): a dropped timeout silently turns a detected "
@@ -72,6 +72,13 @@ const std::vector<RuleInfo> kRules = {
      "staging must route through mem::CopyPolicy so copies, pins and cache "
      "hits are charged to the ledger (DESIGN.md §14); the sanctioned "
      "modeled-DMA setup sites carry an explicit svlint:allow"},
+    {"SV014",
+     "SLO actuator invoked outside src/control/ (set_admit_permille(), or "
+     "calling an apply_chunk_bytes/apply_demotion/apply_promotion "
+     "callback): only the slo::Controller may mutate admission rates, "
+     "chunk sizing or replica membership, so every control action is in "
+     "its audited, deterministic action log (DESIGN.md §15); harnesses "
+     "install the callbacks and query admit(), they never fire them"},
 };
 
 // Directories whose output feeds deterministic event ordering: iterating an
@@ -147,6 +154,13 @@ bool pool_rule_applies(const std::string& rel_path) {
   // and examples model raw-VIA applications, so they stay out of scope.
   if (starts_with(rel_path, "src/mem/")) return false;
   return starts_with(rel_path, "src/");
+}
+
+bool actuator_rule_applies(const std::string& rel_path) {
+  // src/control owns the SLO actuators (DESIGN.md §15); everywhere else in
+  // src/ and bench/ may install and query them but never fire them.
+  if (starts_with(rel_path, "src/control/")) return false;
+  return starts_with(rel_path, "src/") || starts_with(rel_path, "bench/");
 }
 
 // ---------------------------------------------------------------------------
@@ -807,6 +821,33 @@ void check_sv013(const std::string& rel_path, const Tokens& t,
   }
 }
 
+// ---------------------------------------------------------------------------
+// SV014: SLO actuator mutation outside the control plane
+// ---------------------------------------------------------------------------
+
+void check_sv014(const std::string& rel_path, const Tokens& t,
+                 std::vector<Finding>* out) {
+  if (!actuator_rule_applies(rel_path)) return;
+  // The banned verbs. Installing a callback (`acts.apply_demotion = ...`)
+  // is fine — only *calling* one (`.` / `->`, the name, then `(`) fires an
+  // actuation, and actuations belong to the Controller alone.
+  static constexpr const char* kActuators[] = {
+      "set_admit_permille", "apply_chunk_bytes", "apply_demotion",
+      "apply_promotion"};
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!punct_any(t, i, {".", "->"})) continue;
+    for (const char* name : kActuators) {
+      if (!I(t, i + 1, name) || !P(t, i + 2, "(")) continue;
+      add(out, rel_path, t[i + 1].line, "SV014",
+          std::string("direct ") + name +
+              "() call outside src/control/; actuations must come from "
+              "slo::Controller so they appear in its deterministic action "
+              "log (DESIGN.md §15)");
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() { return kRules; }
@@ -843,6 +884,7 @@ std::vector<Finding> scan_lexed(const std::string& rel_path,
   check_sv011(rel_path, lx, &findings);
   check_sv012(rel_path, t, ctx, &findings);
   check_sv013(rel_path, t, &findings);
+  check_sv014(rel_path, t, &findings);
 
   // Apply suppressions (an allow on the finding's line or the line above)
   // and attach the offending source line as the report snippet.
